@@ -1,0 +1,59 @@
+//! **Fig. 2** — Regression plot of RouteNet's predicted delays vs. the true
+//! (simulated) delays in one sample scenario of the unseen Geant2 topology.
+//!
+//! Prints the scatter series as CSV (`true_delay_s,predicted_delay_s`) plus
+//! the regression statistics the plot visualizes (R², slope, intercept).
+//!
+//! ```text
+//! cargo run -p routenet-bench --release --bin fig2 -- \
+//!     [--scale 1.0] [--epochs 30] [--seed 1] [--sample 0]
+//! ```
+
+use routenet_bench::{run_experiment, scaled_protocol, Args};
+use routenet_core::prelude::*;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_or("scale", 1.0f64);
+    let seed = args.get_or("seed", 1u64);
+    let sample_idx = args.get_or("sample", 0usize);
+    let protocol = scaled_protocol(scale, seed);
+    let train_cfg = TrainConfig {
+        epochs: args.get_or("epochs", 30usize),
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+
+    let sample = &exp.data.eval_geant2[sample_idx.min(exp.data.eval_geant2.len() - 1)];
+    let preds = exp.model.predict_scenario(&sample.scenario);
+
+    let mut xs = Vec::new(); // true
+    let mut ys = Vec::new(); // predicted
+    println!("# fig2: regression of predicted vs true per-path mean delay");
+    println!("# topology=Geant2 (unseen during training), intensity={:.3}", sample.intensity);
+    println!("true_delay_s,predicted_delay_s");
+    for (p, t) in preds.iter().zip(&sample.targets) {
+        if t.delay_s > 0.0 {
+            println!("{:.6},{:.6}", t.delay_s, p.delay_s);
+            xs.push(t.delay_s);
+            ys.push(p.delay_s);
+        }
+    }
+
+    // Least-squares fit y = a x + b, plus the usual regression stats.
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = routenet_core::metrics::r_squared(&ys, &xs);
+    let r = routenet_core::metrics::pearson(&ys, &xs);
+    eprintln!("# n={} slope={slope:.3} intercept={intercept:.4}s r={r:.4} R2={r2:.4}", xs.len());
+    eprintln!("# (ideal: slope 1.0, intercept 0.0 — points on the diagonal)");
+    let pts: Vec<(f64, f64)> = xs.iter().cloned().zip(ys.iter().cloned()).collect();
+    eprintln!("# predicted (y) vs simulated (x) delay, seconds; '.' = ideal diagonal");
+    eprint!("{}", routenet_bench::plot::scatter(&pts, 64, 20));
+}

@@ -1,0 +1,67 @@
+//! **Fig. 3** — Cumulative distribution function of the relative error of
+//! RouteNet's delay predictions over all evaluation samples, one series per
+//! topology (NSFNET-14, Synth-50, and the unseen Geant2-24), plus the M/M/1
+//! analytic baseline for contrast.
+//!
+//! Prints CSV: `series,relative_error,cdf`.
+//!
+//! ```text
+//! cargo run -p routenet-bench --release --bin fig3 -- \
+//!     [--scale 1.0] [--epochs 30] [--seed 1] [--points 50]
+//! ```
+
+use routenet_bench::{run_experiment, scaled_protocol, summary_row, Args};
+use routenet_core::prelude::*;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_or("scale", 1.0f64);
+    let seed = args.get_or("seed", 1u64);
+    let points = args.get_or("points", 50usize);
+    let protocol = scaled_protocol(scale, seed);
+    let train_cfg = TrainConfig {
+        epochs: args.get_or("epochs", 30usize),
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+
+    let mm1 = Mm1Baseline::default();
+    println!("# fig3: CDF of relative error of per-path delay predictions");
+    println!("series,relative_error,cdf");
+    let sets: [(&str, &Vec<Sample>); 3] = [
+        ("NSFNET-14", &exp.data.eval_nsfnet),
+        ("Synth-50", &exp.data.eval_synth),
+        ("Geant2-24-unseen", &exp.data.eval_geant2),
+    ];
+    for (name, set) in sets {
+        for (model_name, ev) in [
+            ("RouteNet", collect_predictions(&exp.model, set)),
+            ("MM1", collect_predictions(&mm1, set)),
+        ] {
+            let re = relative_errors(&ev.delay_pred, &ev.delay_true);
+            for (x, f) in cdf_points(&re, points) {
+                println!("{model_name}/{name},{x:.6},{f:.4}");
+            }
+            eprintln!("{}", summary_row(&format!("{model_name} {name}"), &ev.delay_summary()));
+        }
+    }
+
+    // Terminal rendition of the headline CDFs (unseen topology).
+    let rn = collect_predictions(&exp.model, &exp.data.eval_geant2);
+    let rn_cdf = cdf_points(&relative_errors(&rn.delay_pred, &rn.delay_true), 50);
+    let qa = collect_predictions(&mm1, &exp.data.eval_geant2);
+    let qa_cdf = cdf_points(&relative_errors(&qa.delay_pred, &qa.delay_true), 50);
+    eprintln!("# CDF of relative delay error on UNSEEN Geant2 (right = worse):");
+    eprint!("{}", routenet_bench::plot::cdf_chart(
+        &[("RouteNet", &rn_cdf), ("M/M/1", &qa_cdf)], 60, 16));
+
+    // The paper's figure aggregates all three topologies; emit that too.
+    let all = exp.data.eval_all();
+    let ev = collect_predictions(&exp.model, &all);
+    let re = relative_errors(&ev.delay_pred, &ev.delay_true);
+    for (x, f) in cdf_points(&re, points) {
+        println!("RouteNet/all,{x:.6},{f:.4}");
+    }
+    eprintln!("{}", summary_row("RouteNet ALL", &ev.delay_summary()));
+}

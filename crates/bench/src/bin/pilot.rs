@@ -1,0 +1,39 @@
+//! Pilot run: small-scale end-to-end sanity check with timing breakdown.
+//!
+//! Usage: `cargo run -p routenet-bench --release --bin pilot -- [--scale f]
+//! [--epochs n] [--seed n]`
+
+use routenet_bench::{run_experiment, scaled_protocol, summary_row, Args};
+use routenet_core::prelude::*;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_or("scale", 0.25f64);
+    let seed = args.get_or("seed", 1u64);
+    let protocol = scaled_protocol(scale, seed);
+    let train_cfg = TrainConfig {
+        epochs: args.get_or("epochs", 10usize),
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+
+    let mm1 = Mm1Baseline::default();
+    for (name, set) in [
+        ("NSFNET (seen)", &exp.data.eval_nsfnet),
+        ("Synth-50 (seen)", &exp.data.eval_synth),
+        ("Geant2 (UNSEEN)", &exp.data.eval_geant2),
+    ] {
+        let rn = collect_predictions(&exp.model, set);
+        let qa = collect_predictions(&mm1, set);
+        println!("{}", summary_row(&format!("RouteNet {name}"), &rn.delay_summary()));
+        println!("{}", summary_row(&format!("M/M/1    {name}"), &qa.delay_summary()));
+    }
+    println!(
+        "# gen {:.1}s  train {:.1}s  ({} train samples, {} epochs)",
+        exp.gen_seconds,
+        exp.train_seconds,
+        exp.data.train.len(),
+        train_cfg.epochs
+    );
+}

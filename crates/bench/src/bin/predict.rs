@@ -1,0 +1,71 @@
+//! Model tooling: load a checkpoint, predict over a JSONL dataset, emit CSV
+//! predictions and accuracy (when labels are present).
+//!
+//! ```text
+//! cargo run -p routenet-bench --release --bin predict -- \
+//!     --model model.json --data eval.jsonl [--out predictions.csv]
+//! ```
+
+use routenet_bench::{summary_row, Args};
+use routenet_core::prelude::*;
+use routenet_dataset::io::load_jsonl;
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::from_env();
+    let (Some(model_path), Some(data_path)) = (args.get("model"), args.get("data")) else {
+        eprintln!("usage: predict --model <model.json> --data <jsonl> [--out <csv>]");
+        std::process::exit(2);
+    };
+    let model_json = std::fs::read_to_string(model_path).unwrap_or_else(|e| {
+        eprintln!("failed to read {model_path}: {e}");
+        std::process::exit(1);
+    });
+    let model = RouteNet::from_json(&model_json).unwrap_or_else(|e| {
+        eprintln!("failed to parse {model_path}: {e}");
+        std::process::exit(1);
+    });
+    let data = load_jsonl(data_path).unwrap_or_else(|e| {
+        eprintln!("failed to load {data_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "model: {} params, T={}, predicting over {} samples",
+        model.n_parameters(),
+        model.config().t_iterations,
+        data.len()
+    );
+
+    let mut csv = String::from(
+        "sample,topology,src,dst,predicted_delay_s,predicted_jitter_s2,true_delay_s,true_jitter_s2\n",
+    );
+    for (i, s) in data.iter().enumerate() {
+        let preds = model.predict_scenario(&s.scenario);
+        for (((src, dst), p), t) in s.scenario.pairs().iter().zip(&preds).zip(&s.targets) {
+            writeln!(
+                csv,
+                "{i},{},{},{},{:.6},{:.8},{:.6},{:.8}",
+                s.topology, src.0, dst.0, p.delay_s, p.jitter_s2, t.delay_s, t.jitter_s2
+            )
+            .unwrap();
+        }
+    }
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &csv).unwrap_or_else(|e| {
+                eprintln!("failed to write {out}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {out}");
+        }
+        None => print!("{csv}"),
+    }
+
+    let ev = collect_predictions(&model, &data);
+    if !ev.is_empty() {
+        eprintln!("{}", summary_row("delay", &ev.delay_summary()));
+        if let Some(j) = ev.jitter_summary() {
+            eprintln!("{}", summary_row("jitter", &j));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! One-shot evaluation report: generates the paper-protocol datasets, trains
+//! RouteNet **once**, and writes every figure/table artifact into
+//! `results/` (the per-figure binaries are self-contained equivalents that
+//! each train their own model).
+//!
+//! ```text
+//! cargo run -p routenet-bench --release --bin report -- \
+//!     [--scale 1.0] [--epochs 40] [--seed 1] [--out results]
+//! ```
+//!
+//! Outputs:
+//! - `results/fig2.csv` — (true, predicted) scatter on an unseen Geant2 sample
+//! - `results/fig3.csv` — relative-error CDFs per topology and predictor
+//! - `results/fig4.csv` — Top-10 paths with more delay
+//! - `results/table1.txt` — generalization summary table
+//! - `results/training.csv` — loss curve
+//! - `results/model.json` — the trained checkpoint
+//! - `results/summary.txt` — headline numbers
+
+use routenet_bench::{run_experiment, scaled_protocol, summary_row, Args};
+use routenet_core::prelude::*;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn write(path: &Path, content: &str) {
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    eprintln!("# wrote {}", path.display());
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_or("scale", 1.0f64);
+    let seed = args.get_or("seed", 1u64);
+    let epochs = args.get_or("epochs", 40usize);
+    let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("results"));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let protocol = scaled_protocol(scale, seed);
+    let train_cfg = TrainConfig {
+        epochs,
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    let mm1 = Mm1Baseline::default();
+    let mg1 = Mg1Baseline::default(); // knows the true (deterministic) size distribution
+
+    // ---- training curve ------------------------------------------------
+    let mut s = String::from("epoch,train_loss,val_loss,lr\n");
+    for e in &exp.report.epochs {
+        writeln!(
+            s,
+            "{},{:.6},{},{:.2e}",
+            e.epoch,
+            e.train_loss,
+            e.val_loss.map_or("".into(), |v| format!("{v:.6}")),
+            e.lr
+        )
+        .unwrap();
+    }
+    write(&out_dir.join("training.csv"), &s);
+
+    // ---- model checkpoint ----------------------------------------------
+    write(&out_dir.join("model.json"), &exp.model.to_json());
+
+    // ---- fig2: regression scatter on unseen Geant2 ----------------------
+    let sample = &exp.data.eval_geant2[0];
+    let preds = exp.model.predict_scenario(&sample.scenario);
+    let mut s = String::from("true_delay_s,predicted_delay_s\n");
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for (p, t) in preds.iter().zip(&sample.targets) {
+        if t.delay_s > 0.0 {
+            writeln!(s, "{:.6},{:.6}", t.delay_s, p.delay_s).unwrap();
+            xs.push(t.delay_s);
+            ys.push(p.delay_s);
+        }
+    }
+    write(&out_dir.join("fig2.csv"), &s);
+    let fig2_r2 = routenet_core::metrics::r_squared(&ys, &xs);
+    let fig2_r = routenet_core::metrics::pearson(&ys, &xs);
+
+    // ---- fig3: CDFs ------------------------------------------------------
+    let mut s = String::from("series,relative_error,cdf\n");
+    let sets: [(&str, &Vec<Sample>); 3] = [
+        ("NSFNET-14", &exp.data.eval_nsfnet),
+        ("Synth-50", &exp.data.eval_synth),
+        ("Geant2-24-unseen", &exp.data.eval_geant2),
+    ];
+    let mut summaries = String::new();
+    for (name, set) in sets {
+        for (pname, ev) in [
+            ("RouteNet", collect_predictions(&exp.model, set)),
+            ("MM1", collect_predictions(&mm1, set)),
+        ] {
+            let re = relative_errors(&ev.delay_pred, &ev.delay_true);
+            for (x, f) in cdf_points(&re, 50) {
+                writeln!(s, "{pname}/{name},{x:.6},{f:.4}").unwrap();
+            }
+            writeln!(summaries, "{}", summary_row(&format!("{pname} {name}"), &ev.delay_summary()))
+                .unwrap();
+            if let Some(j) = ev.jitter_summary() {
+                writeln!(summaries, "{}", summary_row(&format!("{pname} {name} [jitter]"), &j))
+                    .unwrap();
+            }
+        }
+    }
+    write(&out_dir.join("fig3.csv"), &s);
+
+    // ---- fig4: top-10 ----------------------------------------------------
+    let top = top_n_paths_by_delay(&exp.model, sample, 10);
+    let mut s = String::from("rank,src,dst,predicted_delay_ms,simulated_delay_ms,hops\n");
+    for (rank, (src, dst, pred, truth)) in top.iter().enumerate() {
+        let hops = sample.scenario.routing.hops(
+            routenet_netgraph::NodeId(*src),
+            routenet_netgraph::NodeId(*dst),
+        );
+        writeln!(
+            s,
+            "{},{},{},{:.2},{:.2},{}",
+            rank + 1,
+            src,
+            dst,
+            pred * 1e3,
+            truth * 1e3,
+            hops
+        )
+        .unwrap();
+    }
+    write(&out_dir.join("fig4.csv"), &s);
+
+    // ---- table1 ----------------------------------------------------------
+    let nsf_train: Vec<Sample> = exp
+        .data
+        .train
+        .iter()
+        .filter(|x| x.topology == "NSFNET")
+        .cloned()
+        .collect();
+    eprintln!("# training FNN baseline on NSFNET...");
+    let fnn = FnnBaseline::train(&nsf_train, &FnnConfig::default());
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<20} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "eval set", "predictor", "n", "MAE(s)", "medRE", "p95RE", "r", "jitMedRE", "jit r"
+    )
+    .unwrap();
+    for (name, set) in [
+        ("NSFNET-14 (seen)", &exp.data.eval_nsfnet),
+        ("Synth-50 (seen)", &exp.data.eval_synth),
+        ("Geant2-24 (UNSEEN)", &exp.data.eval_geant2),
+    ] {
+        let mut rows: Vec<(&str, Option<PairedEval>)> = vec![
+            ("RouteNet", Some(collect_predictions(&exp.model, set))),
+            ("M/M/1", Some(collect_predictions(&mm1, set))),
+            ("M/G/1", Some(collect_predictions(&mg1, set))),
+        ];
+        if set.iter().all(|x| fnn.supports(&x.scenario)) {
+            rows.push(("FNN", Some(collect_predictions(&fnn, set))));
+        } else {
+            rows.push(("FNN", None));
+        }
+        for (pname, ev) in rows {
+            match ev {
+                Some(ev) => {
+                    let d = ev.delay_summary();
+                    let (jm, jr) = match ev.jitter_summary() {
+                        Some(j) => (format!("{:.3}", j.median_re), format!("{:.3}", j.pearson_r)),
+                        None => ("n/a".into(), "n/a".into()),
+                    };
+                    writeln!(
+                        s,
+                        "{:<20} {:<10} {:>8} {:>8.4} {:>8.3} {:>8.3} {:>8.3} {:>10} {:>10}",
+                        name, pname, d.n, d.mae, d.median_re, d.p95_re, d.pearson_r, jm, jr
+                    )
+                    .unwrap();
+                }
+                None => {
+                    writeln!(
+                        s,
+                        "{:<20} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+                        name, pname, "-", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a"
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    writeln!(s, "\nFNN n/a = fixed-input model cannot be applied to other topologies.").unwrap();
+    write(&out_dir.join("table1.txt"), &s);
+
+    // ---- summary ---------------------------------------------------------
+    let mut s = String::new();
+    writeln!(s, "RouteNet generalization report").unwrap();
+    writeln!(
+        s,
+        "scale={scale} epochs={epochs} seed={seed} train_samples={} (gen {:.1}s, train {:.1}s)",
+        exp.data.train.len(),
+        exp.gen_seconds,
+        exp.train_seconds
+    )
+    .unwrap();
+    writeln!(s, "model parameters: {}", exp.model.n_parameters()).unwrap();
+    writeln!(s, "best epoch {} val loss {:.5}", exp.report.best_epoch, exp.report.best_loss).unwrap();
+    writeln!(s, "fig2 (unseen Geant2 sample): r={fig2_r:.4} R2={fig2_r2:.4}").unwrap();
+    writeln!(s, "\nper-topology summaries:\n{summaries}").unwrap();
+    write(&out_dir.join("summary.txt"), &s);
+    println!("{s}");
+}

@@ -1,0 +1,68 @@
+//! Model tooling: train a RouteNet on JSONL datasets and save a checkpoint.
+//!
+//! ```text
+//! cargo run -p routenet-bench --release --bin train-model -- \
+//!     --train train.jsonl [--val val.jsonl] --out model.json \
+//!     [--epochs 30] [--lr 2e-3] [--batch 8] [--t-iterations 4] [--dim 16]
+//! ```
+//!
+//! Pairs with `gen-dataset` (routenet-dataset) and `predict` for a complete
+//! file-based workflow without writing any Rust.
+
+use routenet_bench::Args;
+use routenet_core::prelude::*;
+use routenet_dataset::io::load_jsonl;
+
+fn main() {
+    let args = Args::from_env();
+    let Some(train_path) = args.get("train") else {
+        eprintln!("usage: train-model --train <jsonl> [--val <jsonl>] --out <model.json>");
+        std::process::exit(2);
+    };
+    let out = args.get("out").unwrap_or("model.json").to_string();
+
+    let train_set = load_jsonl(train_path).unwrap_or_else(|e| {
+        eprintln!("failed to load {train_path}: {e}");
+        std::process::exit(1);
+    });
+    let val_set = match args.get("val") {
+        Some(p) => load_jsonl(p).unwrap_or_else(|e| {
+            eprintln!("failed to load {p}: {e}");
+            std::process::exit(1);
+        }),
+        None => Vec::new(),
+    };
+    eprintln!(
+        "loaded {} training / {} validation samples",
+        train_set.len(),
+        val_set.len()
+    );
+
+    let dim = args.get_or("dim", 16usize);
+    let mut model = RouteNet::new(RouteNetConfig {
+        link_state_dim: dim,
+        path_state_dim: dim,
+        readout_hidden: 2 * dim,
+        t_iterations: args.get_or("t-iterations", 4usize),
+        predict_jitter: true,
+        predict_drops: false,
+        seed: args.get_or("seed", 2019u64),
+    });
+    let cfg = TrainConfig {
+        epochs: args.get_or("epochs", 30usize),
+        batch_size: args.get_or("batch", 8usize),
+        lr: args.get_or("lr", 2e-3f64),
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut model, &train_set, &val_set, &cfg);
+    eprintln!(
+        "best epoch {} (loss {:.5}); saving {out}",
+        report.best_epoch, report.best_loss
+    );
+    std::fs::write(&out, model.to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("model with {} parameters -> {out}", model.n_parameters());
+}

@@ -1,0 +1,185 @@
+//! # routenet-bench
+//!
+//! Shared harness behind the figure/table binaries. Each binary regenerates
+//! one artifact of the paper's evaluation:
+//!
+//! | Binary   | Paper artifact |
+//! |----------|----------------|
+//! | `fig2`   | Regression plot of predicted vs. true delay (Geant2 sample) |
+//! | `fig3`   | CDF of relative error per evaluation topology |
+//! | `fig4`   | Top-10 paths with more delay |
+//! | `table1` | Generalization summary: RouteNet vs M/M/1 vs FNN per topology |
+//! | `cost`   | Inference vs packet-level simulation wall-clock |
+//! | `ablation` | Error vs T iterations and state dims |
+//! | `varsize` | Error vs topology size on fresh 10..=50-node graphs |
+//! | `report` | Everything above, trained once, written to `results/` |
+//! | `train-model` / `predict` / `probe` / `pilot` | File-based model tooling and dev checks |
+//!
+//! All binaries accept `--scale <f>` (dataset-size multiplier), `--epochs
+//! <n>`, `--seed <n>` and print machine-readable series to stdout.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use routenet_core::prelude::*;
+use routenet_dataset::split::{generate_paper_datasets, PaperDatasets, ProtocolConfig};
+use std::time::Instant;
+
+/// Minimal CLI flag parser: `--key value` pairs, all optional.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`, skipping the binary name.
+    pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_slice(&argv)
+    }
+
+    /// Parse from an explicit list (used by tests).
+    pub fn from_slice(argv: &[String]) -> Self {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].trim_start_matches("--").to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                pairs.push((key, argv[i + 1].clone()));
+                i += 2;
+            } else {
+                pairs.push((key, "true".into()));
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Look up a flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a flag as `T`, falling back to `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Scaled paper protocol: `scale = 1.0` is the laptop default; the paper's
+/// full scale corresponds to roughly `scale = 5000`.
+pub fn scaled_protocol(scale: f64, seed: u64) -> ProtocolConfig {
+    let base = ProtocolConfig::default();
+    let mul = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+    ProtocolConfig {
+        train_per_topology: mul(base.train_per_topology),
+        val_per_topology: mul(base.val_per_topology),
+        eval_per_topology: mul(base.eval_per_topology),
+        eval_geant2: mul(base.eval_geant2),
+        seed,
+        ..base
+    }
+}
+
+/// End-to-end experiment context shared by the figure binaries: generated
+/// datasets plus a RouteNet trained per the paper's protocol.
+pub struct Experiment {
+    /// The generated datasets.
+    pub data: PaperDatasets,
+    /// The trained model.
+    pub model: RouteNet,
+    /// The training report.
+    pub report: TrainReport,
+    /// Wall-clock seconds spent generating data.
+    pub gen_seconds: f64,
+    /// Wall-clock seconds spent training.
+    pub train_seconds: f64,
+}
+
+/// Generate datasets and train RouteNet. `verbose` prints progress to stderr.
+pub fn run_experiment(
+    protocol: &ProtocolConfig,
+    model_cfg: RouteNetConfig,
+    train_cfg: &TrainConfig,
+    verbose: bool,
+) -> Experiment {
+    if verbose {
+        eprintln!(
+            "# generating datasets: {} train/topology, {} eval/topology, {} geant2",
+            protocol.train_per_topology, protocol.eval_per_topology, protocol.eval_geant2
+        );
+    }
+    let t0 = Instant::now();
+    let data = generate_paper_datasets(protocol);
+    let gen_seconds = t0.elapsed().as_secs_f64();
+    if verbose {
+        eprintln!("# generated in {gen_seconds:.1}s; training...");
+    }
+    let mut model = RouteNet::new(model_cfg);
+    let t1 = Instant::now();
+    let report = train(&mut model, &data.train, &data.val, train_cfg);
+    let train_seconds = t1.elapsed().as_secs_f64();
+    if verbose {
+        eprintln!(
+            "# trained in {train_seconds:.1}s; best epoch {} (loss {:.5})",
+            report.best_epoch, report.best_loss
+        );
+    }
+    Experiment {
+        data,
+        model,
+        report,
+        gen_seconds,
+        train_seconds,
+    }
+}
+
+/// Format an evaluation summary as one table row.
+pub fn summary_row(label: &str, s: &EvalSummary) -> String {
+    format!(
+        "{label:<22} n={:<7} MAE={:.4}s RMSE={:.4}s MRE={:.3} medRE={:.3} p95RE={:.3} r={:.3} R2={:.3}",
+        s.n, s.mae, s.rmse, s.mre, s.median_re, s.p95_re, s.pearson_r, s.r2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_defaults() {
+        let args = Args::from_slice(&[
+            "--scale".into(),
+            "2.5".into(),
+            "--verbose".into(),
+            "--epochs".into(),
+            "7".into(),
+        ]);
+        assert_eq!(args.get_or("scale", 1.0f64), 2.5);
+        assert_eq!(args.get_or("epochs", 3usize), 7);
+        assert_eq!(args.get("verbose"), Some("true"));
+        assert_eq!(args.get_or("seed", 42u64), 42);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let args = Args::from_slice(&["--x".into(), "1".into(), "--x".into(), "2".into()]);
+        assert_eq!(args.get_or("x", 0i32), 2);
+    }
+
+    #[test]
+    fn scaled_protocol_scales_counts() {
+        let p = scaled_protocol(0.5, 9);
+        let base = ProtocolConfig::default();
+        assert_eq!(p.train_per_topology, base.train_per_topology / 2);
+        assert_eq!(p.seed, 9);
+        // never zero
+        let tiny = scaled_protocol(0.0001, 1);
+        assert!(tiny.train_per_topology >= 1);
+    }
+}

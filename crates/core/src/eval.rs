@@ -1,0 +1,238 @@
+//! Evaluation harness: run predictors over sample sets and group results.
+
+use crate::metrics::{evaluate, EvalSummary};
+use crate::sample::{KpiPredictor, Sample};
+use std::collections::BTreeMap;
+
+/// Paired predictions and ground truths, flattened over samples and pairs.
+#[derive(Debug, Clone, Default)]
+pub struct PairedEval {
+    /// Predicted mean delays, seconds.
+    pub delay_pred: Vec<f64>,
+    /// True mean delays, seconds.
+    pub delay_true: Vec<f64>,
+    /// Predicted jitters (NaN when the predictor has no jitter head).
+    pub jitter_pred: Vec<f64>,
+    /// True jitters.
+    pub jitter_true: Vec<f64>,
+    /// Predicted drop probabilities (NaN when the predictor has no drop head).
+    pub drop_pred: Vec<f64>,
+    /// True drop probabilities.
+    pub drop_true: Vec<f64>,
+}
+
+impl PairedEval {
+    /// Number of paired observations.
+    pub fn len(&self) -> usize {
+        self.delay_pred.len()
+    }
+
+    /// True if no observations were collected.
+    pub fn is_empty(&self) -> bool {
+        self.delay_pred.is_empty()
+    }
+
+    /// Delay metrics summary.
+    pub fn delay_summary(&self) -> EvalSummary {
+        evaluate(&self.delay_pred, &self.delay_true)
+    }
+
+    /// Jitter metrics summary, if the predictor produced jitter values.
+    pub fn jitter_summary(&self) -> Option<EvalSummary> {
+        if self.jitter_pred.iter().any(|x| x.is_nan()) {
+            None
+        } else {
+            Some(evaluate(&self.jitter_pred, &self.jitter_true))
+        }
+    }
+
+    /// Drop-probability metrics, if the predictor has a drop head. Returns
+    /// `(mae, pearson_r)` rather than a full relative-error summary because
+    /// true drop probabilities are frequently exactly zero.
+    pub fn drop_summary(&self) -> Option<(f64, f64)> {
+        if self.drop_pred.is_empty() || self.drop_pred.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mae = self
+            .drop_pred
+            .iter()
+            .zip(&self.drop_true)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / self.drop_pred.len() as f64;
+        Some((mae, crate::metrics::pearson(&self.drop_pred, &self.drop_true)))
+    }
+
+    /// Append another evaluation's observations.
+    pub fn extend(&mut self, other: &PairedEval) {
+        self.delay_pred.extend_from_slice(&other.delay_pred);
+        self.delay_true.extend_from_slice(&other.delay_true);
+        self.jitter_pred.extend_from_slice(&other.jitter_pred);
+        self.jitter_true.extend_from_slice(&other.jitter_true);
+        self.drop_pred.extend_from_slice(&other.drop_pred);
+        self.drop_true.extend_from_slice(&other.drop_true);
+    }
+}
+
+/// Run `predictor` over `samples`, pairing predictions with ground truth.
+///
+/// Pairs whose ground-truth delay is zero are skipped: a zero mean delay is
+/// the dataset generator's sentinel for "no packet of this flow was observed
+/// in the measurement window", i.e. there is no label to compare against.
+pub fn collect_predictions(predictor: &dyn KpiPredictor, samples: &[Sample]) -> PairedEval {
+    let mut out = PairedEval::default();
+    for s in samples {
+        let preds = predictor.predict(&s.scenario);
+        assert_eq!(
+            preds.len(),
+            s.targets.len(),
+            "{} returned {} predictions for {} targets",
+            predictor.predictor_name(),
+            preds.len(),
+            s.targets.len()
+        );
+        for (p, t) in preds.iter().zip(&s.targets) {
+            if t.delay_s <= 0.0 {
+                continue; // unobserved flow: no ground truth
+            }
+            out.delay_pred.push(p.delay_s);
+            out.delay_true.push(t.delay_s);
+            out.jitter_pred.push(p.jitter_s2);
+            out.jitter_true.push(t.jitter_s2);
+            out.drop_pred.push(p.drop_prob);
+            out.drop_true.push(t.drop_prob);
+        }
+    }
+    out
+}
+
+/// Collect predictions grouped by the samples' topology name — the grouping
+/// of the paper's Fig. 3 (one CDF per topology).
+pub fn collect_by_topology(
+    predictor: &dyn KpiPredictor,
+    samples: &[Sample],
+) -> BTreeMap<String, PairedEval> {
+    let mut groups: BTreeMap<String, PairedEval> = BTreeMap::new();
+    for s in samples {
+        let single = collect_predictions(predictor, std::slice::from_ref(s));
+        groups
+            .entry(s.topology.clone())
+            .or_default()
+            .extend(&single);
+    }
+    groups
+}
+
+/// Rank the `n` paths with the largest predicted delay in one sample —
+/// the "Top-N paths with more delay" analytics of the paper's Fig. 4.
+/// Returns `(src, dst, predicted_delay_s, true_delay_s)` sorted descending.
+pub fn top_n_paths_by_delay(
+    predictor: &dyn KpiPredictor,
+    sample: &Sample,
+    n: usize,
+) -> Vec<(usize, usize, f64, f64)> {
+    let preds = predictor.predict(&sample.scenario);
+    let pairs = sample.scenario.pairs();
+    let mut rows: Vec<(usize, usize, f64, f64)> = pairs
+        .iter()
+        .zip(preds.iter())
+        .zip(sample.targets.iter())
+        .map(|(((s, d), p), t)| (s.0, d.0, p.delay_s, t.delay_s))
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite predictions"));
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Mm1Baseline;
+    use crate::sample::{Scenario, TargetKpi};
+    use routenet_netgraph::routing::shortest_path_routing;
+    use routenet_netgraph::generate;
+    use routenet_simnet::queueing::Mm1Network;
+
+    fn sample_with_topology(name: &str, seed: u64) -> Sample {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generate::ring(4);
+        let routing = shortest_path_routing(&g).unwrap();
+        let tm = routenet_netgraph::traffic::sample_traffic_matrix(
+            &g,
+            &routing,
+            &routenet_netgraph::TrafficModel::Uniform { min_frac: 0.5 },
+            0.4,
+            &mut rng,
+        );
+        let net = Mm1Network::build(&g, &routing, &tm, 1_000.0);
+        let targets = net
+            .predict_all(&routing)
+            .into_iter()
+            .map(|p| TargetKpi { delay_s: p.mean_delay_s, jitter_s2: p.jitter_s2, drop_prob: 0.0 })
+            .collect();
+        Sample {
+            scenario: Scenario { graph: g, routing, traffic: tm },
+            targets,
+            topology: name.into(),
+            intensity: 0.4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn collect_is_exact_for_matching_model() {
+        let s = sample_with_topology("A", 1);
+        let ev = collect_predictions(&Mm1Baseline::default(), &[s]);
+        assert_eq!(ev.len(), 12);
+        let sum = ev.delay_summary();
+        assert!(sum.mre < 1e-9);
+        let jsum = ev.jitter_summary().expect("mm1 predicts jitter");
+        assert!(jsum.mre < 1e-9);
+    }
+
+    #[test]
+    fn grouping_by_topology() {
+        let samples = vec![
+            sample_with_topology("A", 1),
+            sample_with_topology("B", 2),
+            sample_with_topology("A", 3),
+        ];
+        let groups = collect_by_topology(&Mm1Baseline::default(), &samples);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups["A"].len(), 24);
+        assert_eq!(groups["B"].len(), 12);
+    }
+
+    #[test]
+    fn top_n_is_sorted_and_truncated() {
+        let s = sample_with_topology("A", 4);
+        let top = top_n_paths_by_delay(&Mm1Baseline::default(), &s, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        // With exact predictor, predicted == true for each row.
+        for (_, _, p, t) in &top {
+            assert!((p - t).abs() < 1e-12);
+        }
+        // Top-1 is the global max over all pairs.
+        let max_true = s
+            .targets
+            .iter()
+            .map(|t| t.delay_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((top[0].3 - max_true).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_eval_extend() {
+        let s1 = sample_with_topology("A", 5);
+        let s2 = sample_with_topology("A", 6);
+        let mut a = collect_predictions(&Mm1Baseline::default(), &[s1]);
+        let b = collect_predictions(&Mm1Baseline::default(), &[s2]);
+        let n = a.len();
+        a.extend(&b);
+        assert_eq!(a.len(), n + b.len());
+    }
+}

@@ -1,0 +1,274 @@
+//! Input feature extraction and target normalization.
+//!
+//! RouteNet's initial states embed raw network quantities (link capacity,
+//! path traffic); stable training needs those and the regression targets on
+//! a common scale. A [`Normalizer`] is fitted on the training set only and
+//! then travels with the model checkpoint, exactly like the original
+//! TensorFlow implementation's `transform` step.
+
+use crate::sample::{Sample, Scenario, TargetKpi};
+use routenet_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Feature scales and target statistics fitted on a training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Capacities are divided by this (max capacity seen in training).
+    pub capacity_scale: f64,
+    /// Demands are divided by this (mean demand seen in training).
+    pub traffic_scale: f64,
+    /// Propagation delays are divided by this (max seen, or 1 if all zero).
+    pub prop_delay_scale: f64,
+    /// Regress on `log(target)` instead of the raw target. Delays span
+    /// orders of magnitude across load levels; log-space targets align the
+    /// MSE training objective with the relative-error evaluation metric.
+    pub log_targets: bool,
+    /// Mean of (possibly log-) training delays.
+    pub delay_mean: f64,
+    /// Std of (possibly log-) training delays.
+    pub delay_std: f64,
+    /// Mean of (possibly log-) training jitters.
+    pub jitter_mean: f64,
+    /// Std of (possibly log-) training jitters.
+    pub jitter_std: f64,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Normalizer {
+            capacity_scale: 1.0,
+            traffic_scale: 1.0,
+            prop_delay_scale: 1.0,
+            log_targets: false,
+            delay_mean: 0.0,
+            delay_std: 1.0,
+            jitter_mean: 0.0,
+            jitter_std: 1.0,
+        }
+    }
+}
+
+/// Floor applied before `log` to guard unobserved/zero targets.
+const LOG_FLOOR: f64 = 1e-9;
+
+fn mean_std(xs: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+    let n = xs.clone().count().max(1) as f64;
+    let mean = xs.clone().sum::<f64>() / n;
+    let var = xs.map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt().max(1e-12))
+}
+
+impl Normalizer {
+    /// Fit with raw targets (see [`Normalizer::fit_with`]).
+    pub fn fit(samples: &[Sample]) -> Self {
+        Self::fit_with(samples, false)
+    }
+
+    /// Fit scales on a training set. Panics on an empty slice.
+    pub fn fit_with(samples: &[Sample], log_targets: bool) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a normalizer on no samples");
+        let tf = |x: f64| {
+            if log_targets {
+                x.max(LOG_FLOOR).ln()
+            } else {
+                x
+            }
+        };
+        let mut cap_max: f64 = 0.0;
+        let mut pd_max: f64 = 0.0;
+        for s in samples {
+            for (_, l) in s.scenario.graph.links() {
+                cap_max = cap_max.max(l.capacity_bps);
+                pd_max = pd_max.max(l.prop_delay_s);
+            }
+        }
+        let demands: Vec<f64> = samples
+            .iter()
+            .flat_map(|s| s.scenario.traffic.entries().map(|(_, _, v)| v))
+            .filter(|v| *v > 0.0)
+            .collect();
+        let traffic_scale = if demands.is_empty() {
+            1.0
+        } else {
+            demands.iter().sum::<f64>() / demands.len() as f64
+        };
+        // Zero-delay targets are "unobserved flow" sentinels; exclude them
+        // from the label statistics (they are also masked out of the loss).
+        let (delay_mean, delay_std) = mean_std(
+            samples
+                .iter()
+                .flat_map(|s| {
+                    s.targets
+                        .iter()
+                        .filter(|t| t.delay_s > 0.0)
+                        .map(|t| tf(t.delay_s))
+                })
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        let (jitter_mean, jitter_std) = mean_std(
+            samples
+                .iter()
+                .flat_map(|s| {
+                    s.targets
+                        .iter()
+                        .filter(|t| t.delay_s > 0.0)
+                        .map(|t| tf(t.jitter_s2))
+                })
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        Normalizer {
+            capacity_scale: cap_max.max(1e-12),
+            traffic_scale: traffic_scale.max(1e-12),
+            prop_delay_scale: if pd_max > 0.0 { pd_max } else { 1.0 },
+            log_targets,
+            delay_mean,
+            delay_std,
+            jitter_mean,
+            jitter_std,
+        }
+    }
+
+    /// Initial link-state features: one row per directed link,
+    /// `[capacity / capacity_scale, prop_delay / prop_delay_scale]`.
+    pub fn link_features(&self, scenario: &Scenario) -> Tensor {
+        let g = &scenario.graph;
+        let mut t = Tensor::zeros(g.n_links(), 2);
+        for (id, l) in g.links() {
+            t.set(id.0, 0, l.capacity_bps / self.capacity_scale);
+            t.set(id.0, 1, l.prop_delay_s / self.prop_delay_scale);
+        }
+        t
+    }
+
+    /// Initial path-state features: one row per routed pair (canonical
+    /// order), `[demand / traffic_scale]`.
+    pub fn path_features(&self, scenario: &Scenario) -> Tensor {
+        let pairs: Vec<_> = scenario.graph.node_pairs().collect();
+        let mut t = Tensor::zeros(pairs.len(), 1);
+        for (i, (s, d)) in pairs.iter().enumerate() {
+            t.set(i, 0, scenario.traffic.demand(*s, *d) / self.traffic_scale);
+        }
+        t
+    }
+
+    fn tf(&self, x: f64) -> f64 {
+        if self.log_targets {
+            x.max(LOG_FLOOR).ln()
+        } else {
+            x
+        }
+    }
+
+    fn tf_inv(&self, x: f64) -> f64 {
+        if self.log_targets {
+            x.exp()
+        } else {
+            x
+        }
+    }
+
+    /// Standardize targets into an `n x 2` tensor `[delay_z, jitter_z]`
+    /// (in log space when `log_targets` is set).
+    pub fn normalize_targets(&self, targets: &[TargetKpi]) -> Tensor {
+        Tensor::from_fn(targets.len(), 2, |r, c| {
+            if c == 0 {
+                (self.tf(targets[r].delay_s) - self.delay_mean) / self.delay_std
+            } else {
+                (self.tf(targets[r].jitter_s2) - self.jitter_mean) / self.jitter_std
+            }
+        })
+    }
+
+    /// Invert [`Normalizer::normalize_targets`] for one predicted row.
+    pub fn denormalize(&self, delay_z: f64, jitter_z: f64) -> TargetKpi {
+        TargetKpi {
+            delay_s: self.tf_inv(delay_z * self.delay_std + self.delay_mean),
+            jitter_s2: self.tf_inv(jitter_z * self.jitter_std + self.jitter_mean),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routenet_netgraph::routing::shortest_path_routing;
+    use routenet_netgraph::topology::nsfnet;
+    use routenet_netgraph::{NodeId, TrafficMatrix};
+
+    fn sample(delay: f64) -> Sample {
+        let g = nsfnet();
+        let routing = shortest_path_routing(&g).unwrap();
+        let mut traffic = TrafficMatrix::zeros(g.n_nodes());
+        traffic.set_demand(NodeId(0), NodeId(1), 2_000.0);
+        traffic.set_demand(NodeId(3), NodeId(9), 4_000.0);
+        let n = routing.n_pairs();
+        Sample {
+            scenario: Scenario { graph: g, routing, traffic },
+            targets: vec![TargetKpi { delay_s: delay, jitter_s2: delay * delay, drop_prob: 0.0 }; n],
+            topology: "NSFNET".into(),
+            intensity: 0.5,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn fit_extracts_scales() {
+        let samples = vec![sample(0.1), sample(0.3)];
+        let norm = Normalizer::fit(&samples);
+        assert_eq!(norm.capacity_scale, 10_000.0);
+        assert!((norm.traffic_scale - 3_000.0).abs() < 1e-9);
+        assert!((norm.delay_mean - 0.2).abs() < 1e-12);
+        assert!(norm.delay_std > 0.0);
+    }
+
+    #[test]
+    fn features_have_expected_shapes_and_values() {
+        let s = sample(0.1);
+        let norm = Normalizer::fit(std::slice::from_ref(&s));
+        let lf = norm.link_features(&s.scenario);
+        assert_eq!(lf.shape(), (42, 2));
+        // all capacities equal the scale => feature 1.0
+        assert!(lf.data().iter().step_by(2).all(|&x| (x - 1.0).abs() < 1e-12));
+        let pf = norm.path_features(&s.scenario);
+        assert_eq!(pf.shape(), (14 * 13, 1));
+        // exactly two non-zero demands
+        let nz = pf.data().iter().filter(|&&x| x > 0.0).count();
+        assert_eq!(nz, 2);
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        let samples = vec![sample(0.1), sample(0.5), sample(0.9)];
+        let norm = Normalizer::fit(&samples);
+        let t = TargetKpi { delay_s: 0.42, jitter_s2: 0.05, drop_prob: 0.0 };
+        let z = norm.normalize_targets(&[t]);
+        let back = norm.denormalize(z.get(0, 0), z.get(0, 1));
+        assert!((back.delay_s - t.delay_s).abs() < 1e-12);
+        assert!((back.jitter_s2 - t.jitter_s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_training_targets_are_standardized() {
+        let samples = vec![sample(0.1), sample(0.5)];
+        let norm = Normalizer::fit(&samples);
+        let all: Vec<TargetKpi> = samples.iter().flat_map(|s| s.targets.clone()).collect();
+        let z = norm.normalize_targets(&all);
+        let n = z.rows() as f64;
+        let mean: f64 = (0..z.rows()).map(|r| z.get(r, 0)).sum::<f64>() / n;
+        let var: f64 = (0..z.rows()).map(|r| z.get(r, 0).powi(2)).sum::<f64>() / n - mean * mean;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_is_identity() {
+        let norm = Normalizer::default();
+        let t = TargetKpi { delay_s: 1.5, jitter_s2: 2.5, drop_prob: 0.0 };
+        let z = norm.normalize_targets(&[t]);
+        assert_eq!(z.get(0, 0), 1.5);
+        assert_eq!(z.get(0, 1), 2.5);
+    }
+}

@@ -1,0 +1,539 @@
+//! Minibatch training loop for RouteNet.
+//!
+//! Mirrors the original implementation's recipe: Adam on a (weighted) MSE
+//! over z-scored delay/jitter targets, gradient clipping, multiplicative
+//! learning-rate decay, and best-on-validation checkpointing.
+
+use crate::features::Normalizer;
+use crate::model::{CompiledScenario, RouteNet};
+use crate::sample::Sample;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use routenet_nn::optim::{clip_global_norm, Adam};
+use routenet_nn::{GradAccumulator, ParamStore, Session, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Samples (graphs) per gradient step.
+    pub batch_size: usize,
+    /// Initial Adam learning rate.
+    pub lr: f64,
+    /// Multiplicative LR decay applied after each epoch.
+    pub lr_decay: f64,
+    /// Global gradient-norm clip.
+    pub clip_norm: f64,
+    /// Weight of the jitter column in the loss (delay has weight 1).
+    pub jitter_weight: f64,
+    /// Weight of the drop column in the loss. Drop probabilities live in
+    /// [0, 1] while the other targets are z-scored, so a weight > 1
+    /// compensates for the smaller scale.
+    pub drop_weight: f64,
+    /// Regress on log-space targets (aligns MSE with relative error).
+    pub log_targets: bool,
+    /// Early stopping: abort after this many epochs without a *significant*
+    /// improvement (relative decrease > 1e-6) of the selection loss
+    /// (validation loss, or training loss without a validation set).
+    /// `None` disables.
+    pub patience: Option<usize>,
+    /// Worker threads for within-batch data parallelism (each sample's
+    /// forward/backward is independent; gradients are reduced in sample
+    /// order, so results are bit-identical for any thread count).
+    /// 0 = use all available cores; 1 = sequential.
+    pub threads: usize,
+    /// Minibatch shuffling seed.
+    pub shuffle_seed: u64,
+    /// Restore the parameters of the best validation epoch at the end.
+    pub keep_best: bool,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 25,
+            batch_size: 8,
+            lr: 2e-3,
+            lr_decay: 0.96,
+            clip_norm: 5.0,
+            jitter_weight: 0.3,
+            drop_weight: 4.0,
+            log_targets: true,
+            patience: None,
+            threads: 0,
+            shuffle_seed: 7,
+            keep_best: true,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Validation loss after the epoch (if a validation set was given).
+    pub val_loss: Option<f64>,
+    /// Learning rate used during the epoch.
+    pub lr: f64,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-epoch loss curve.
+    pub epochs: Vec<EpochStats>,
+    /// Epoch with the lowest validation loss (or lowest train loss if no
+    /// validation set).
+    pub best_epoch: usize,
+    /// The best loss value used for model selection.
+    pub best_loss: f64,
+}
+
+/// One pre-compiled training item.
+struct Item {
+    compiled: CompiledScenario,
+    /// Column-weighted normalized target (matches the model's out_dim).
+    target: Tensor,
+    /// Column weights applied to predictions before the MSE.
+    col_weights: Tensor,
+}
+
+fn compile_items(model: &RouteNet, samples: &[Sample], jitter_weight: f64, drop_weight: f64) -> Vec<Item> {
+    let out_dim = model.out_dim();
+    let jitter_col = model.jitter_col();
+    let drop_col = model.drop_col();
+    samples
+        .iter()
+        .map(|s| {
+            let compiled = model.compile(&s.scenario);
+            let z = model.normalizer().normalize_targets(&s.targets);
+            let n = s.targets.len();
+            let jw = jitter_weight.sqrt();
+            let dw = drop_weight.sqrt();
+            // Rows with zero true delay are unobserved flows (the simulator
+            // saw no packet): mask them out of the loss entirely.
+            let observed: Vec<bool> = s.targets.iter().map(|t| t.delay_s > 0.0).collect();
+            let target = Tensor::from_fn(n, out_dim, |r, c| {
+                if !observed[r] {
+                    0.0
+                } else if c == 0 {
+                    z.get(r, 0)
+                } else if Some(c) == jitter_col {
+                    z.get(r, 1) * jw
+                } else {
+                    // Drop head: raw probability (already in [0, 1]).
+                    s.targets[r].drop_prob * dw
+                }
+            });
+            let col_weights = Tensor::from_fn(n, out_dim, |r, c| {
+                if !observed[r] {
+                    0.0
+                } else if c == 0 {
+                    1.0
+                } else if Some(c) == drop_col {
+                    dw
+                } else {
+                    jw
+                }
+            });
+            Item {
+                compiled,
+                target,
+                col_weights,
+            }
+        })
+        .collect()
+}
+
+fn item_loss(model: &RouteNet, item: &Item) -> (f64, Vec<(routenet_nn::ParamId, Tensor)>) {
+    let mut sess = Session::new(model.store());
+    let out = model.forward(&mut sess, &item.compiled);
+    let weighted = sess.tape.mul_const(out, &item.col_weights);
+    let loss = sess.tape.mse(weighted, &item.target);
+    let loss_val = sess.tape.value(loss).get(0, 0);
+    let grads = sess.tape.backward(loss);
+    let pg = sess.param_grads(&grads);
+    (loss_val, pg)
+}
+
+fn item_loss_value(model: &RouteNet, item: &Item) -> f64 {
+    let mut sess = Session::new(model.store());
+    let out = model.forward(&mut sess, &item.compiled);
+    let weighted = sess.tape.mul_const(out, &item.col_weights);
+    let loss = sess.tape.mse(weighted, &item.target);
+    sess.tape.value(loss).get(0, 0)
+}
+
+/// Per-sample losses and gradients for `chunk`, computed on up to `threads`
+/// workers. Results are returned in `chunk` order, so the downstream
+/// reduction is deterministic regardless of scheduling.
+#[allow(clippy::type_complexity)]
+fn batch_losses(
+    model: &RouteNet,
+    items: &[Item],
+    chunk: &[usize],
+    threads: usize,
+) -> Vec<(f64, Vec<(routenet_nn::ParamId, Tensor)>)> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let workers = threads.min(chunk.len());
+    if workers <= 1 {
+        return chunk.iter().map(|&i| item_loss(model, &items[i])).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(|_| {
+                let tx = tx;
+                loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= chunk.len() {
+                        break;
+                    }
+                    tx.send((k, item_loss(model, &items[chunk[k]])))
+                        .expect("collector alive");
+                }
+            });
+        }
+    })
+    .expect("training workers do not panic");
+    drop(tx);
+    let mut out: Vec<(usize, _)> = rx.into_iter().collect();
+    out.sort_by_key(|(k, _)| *k);
+    out.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Train `model` on `train_set`, monitoring `val_set` (may be empty).
+///
+/// Fits the normalizer on `train_set`, then runs minibatch Adam. With
+/// `keep_best`, the parameters of the best epoch (by validation loss, or by
+/// training loss when `val_set` is empty) are restored before returning.
+pub fn train(
+    model: &mut RouteNet,
+    train_set: &[Sample],
+    val_set: &[Sample],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert!(!train_set.is_empty(), "training set is empty");
+    assert!(cfg.batch_size >= 1 && cfg.epochs >= 1);
+    assert!(cfg.lr > 0.0 && cfg.lr_decay > 0.0 && cfg.lr_decay <= 1.0);
+
+    model.set_normalizer(Normalizer::fit_with(train_set, cfg.log_targets));
+    let train_items = compile_items(model, train_set, cfg.jitter_weight, cfg.drop_weight);
+    let val_items = compile_items(model, val_set, cfg.jitter_weight, cfg.drop_weight);
+
+    let mut opt = Adam::new(model.store(), cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+    let mut order: Vec<usize> = (0..train_items.len()).collect();
+
+    let mut report = TrainReport {
+        epochs: Vec::with_capacity(cfg.epochs),
+        best_epoch: 0,
+        best_loss: f64::INFINITY,
+    };
+    let mut best_params: Option<ParamStore> = None;
+    // Patience tracks *significant* improvements so that float-noise-level
+    // decreases do not keep a stalled run alive.
+    let mut last_significant = 0usize;
+    let mut patience_best = f64::INFINITY;
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let mut acc = GradAccumulator::new(model.store());
+            let mut batch_loss = 0.0;
+            for (l, pg) in batch_losses(model, &train_items, chunk, cfg.threads) {
+                batch_loss += l;
+                acc.add(&pg);
+            }
+            let mut mean_grads = acc.take_mean();
+            clip_global_norm(&mut mean_grads, cfg.clip_norm);
+            opt.step(model.store_mut(), &mean_grads);
+            epoch_loss += batch_loss / chunk.len() as f64;
+            batches += 1;
+        }
+        let train_loss = epoch_loss / batches.max(1) as f64;
+        let val_loss = if val_items.is_empty() {
+            None
+        } else {
+            Some(
+                val_items
+                    .iter()
+                    .map(|it| item_loss_value(model, it))
+                    .sum::<f64>()
+                    / val_items.len() as f64,
+            )
+        };
+        let selection = val_loss.unwrap_or(train_loss);
+        if selection < report.best_loss {
+            report.best_loss = selection;
+            report.best_epoch = epoch;
+            if cfg.keep_best {
+                best_params = Some(model.store().clone());
+            }
+        }
+        if cfg.verbose {
+            eprintln!(
+                "epoch {epoch:3}  train {train_loss:.5}  val {}  lr {:.2e}",
+                val_loss.map_or("-".into(), |v| format!("{v:.5}")),
+                opt.lr
+            );
+        }
+        report.epochs.push(EpochStats {
+            epoch,
+            train_loss,
+            val_loss,
+            lr: opt.lr,
+        });
+        opt.lr *= cfg.lr_decay;
+        if selection < patience_best * (1.0 - 1e-6) {
+            patience_best = selection;
+            last_significant = epoch;
+        }
+        if let Some(patience) = cfg.patience {
+            if epoch > last_significant + patience {
+                if cfg.verbose {
+                    eprintln!(
+                        "early stop at epoch {epoch}: no significant improvement since epoch {last_significant}"
+                    );
+                }
+                break;
+            }
+        }
+    }
+
+    if let Some(best) = best_params {
+        *model.store_mut() = best;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RouteNetConfig;
+    use crate::sample::{Scenario, TargetKpi};
+    use routenet_netgraph::routing::shortest_path_routing;
+    use routenet_netgraph::generate;
+    use routenet_simnet::queueing::Mm1Network;
+
+    /// Tiny synthetic dataset whose labels come from the M/M/1 model — fast
+    /// to generate and perfectly learnable.
+    fn mm1_dataset(n_samples: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::ring(5);
+        let routing = shortest_path_routing(&g).unwrap();
+        (0..n_samples)
+            .map(|i| {
+                let tm = routenet_netgraph::traffic::sample_traffic_matrix(
+                    &g,
+                    &routing,
+                    &routenet_netgraph::TrafficModel::Uniform { min_frac: 0.2 },
+                    0.3 + 0.4 * (i as f64 / n_samples.max(1) as f64),
+                    &mut rng,
+                );
+                let net = Mm1Network::build(&g, &routing, &tm, 1_000.0);
+                let targets: Vec<TargetKpi> = net
+                    .predict_all(&routing)
+                    .into_iter()
+                    .map(|p| TargetKpi {
+                        delay_s: p.mean_delay_s,
+                        jitter_s2: p.jitter_s2,
+                        drop_prob: 0.0,
+                    })
+                    .collect();
+                Sample {
+                    scenario: Scenario {
+                        graph: g.clone(),
+                        routing: routing.clone(),
+                        traffic: tm,
+                    },
+                    targets,
+                    topology: "Ring-5".into(),
+                    intensity: 0.5,
+                    seed: i as u64,
+                }
+            })
+            .collect()
+    }
+
+    fn tiny_model() -> RouteNet {
+        RouteNet::new(RouteNetConfig {
+            link_state_dim: 8,
+            path_state_dim: 8,
+            readout_hidden: 16,
+            t_iterations: 3,
+            predict_jitter: true,
+            predict_drops: false,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = mm1_dataset(24, 1);
+        let (train_set, val_set) = data.split_at(20);
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 4,
+            lr: 5e-3,
+            verbose: false,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, train_set, val_set, &cfg);
+        assert_eq!(report.epochs.len(), 12);
+        let first = report.epochs.first().unwrap().train_loss;
+        let last = report.epochs.last().unwrap().train_loss;
+        assert!(
+            last < first * 0.5,
+            "loss did not halve: {first} -> {last}"
+        );
+        //
+
+        // After training on MM1 labels, predictions should correlate with
+        // the truth on validation data.
+        let preds: Vec<f64> = val_set
+            .iter()
+            .flat_map(|s| {
+                model
+                    .predict_scenario(&s.scenario)
+                    .into_iter()
+                    .map(|p| p.delay_s)
+            })
+            .collect();
+        let truths: Vec<f64> = val_set
+            .iter()
+            .flat_map(|s| s.targets.iter().map(|t| t.delay_s))
+            .collect();
+        let r = crate::metrics::pearson(&preds, &truths);
+        assert!(r > 0.8, "validation correlation too low: {r}");
+    }
+
+    #[test]
+    fn keep_best_restores_best_epoch() {
+        let data = mm1_dataset(8, 2);
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 4,
+            lr: 5e-3,
+            keep_best: true,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data[..6], &data[6..], &cfg);
+        // The restored parameters must reproduce the best validation loss.
+        let items = compile_items(&model, &data[6..], cfg.jitter_weight, cfg.drop_weight);
+        let val: f64 =
+            items.iter().map(|it| item_loss_value(&model, it)).sum::<f64>() / items.len() as f64;
+        assert!(
+            (val - report.best_loss).abs() < 1e-9,
+            "restored val {val} != best {}",
+            report.best_loss
+        );
+    }
+
+    #[test]
+    fn report_tracks_lr_decay() {
+        let data = mm1_dataset(4, 3);
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 2,
+            lr: 1e-3,
+            lr_decay: 0.5,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data, &[], &cfg);
+        assert!((report.epochs[0].lr - 1e-3).abs() < 1e-15);
+        assert!((report.epochs[1].lr - 5e-4).abs() < 1e-15);
+        assert!((report.epochs[2].lr - 2.5e-4).abs() < 1e-15);
+        assert!(report.epochs.iter().all(|e| e.val_loss.is_none()));
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_sequential() {
+        let data = mm1_dataset(10, 6);
+        let train_once = |threads: usize| {
+            let mut model = tiny_model();
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: 5,
+                threads,
+                keep_best: false,
+                ..TrainConfig::default()
+            };
+            train(&mut model, &data[..8], &data[8..], &cfg);
+            model
+                .predict_scenario(&data[9].scenario)
+                .iter()
+                .map(|p| p.delay_s)
+                .collect::<Vec<f64>>()
+        };
+        let seq = train_once(1);
+        let par = train_once(4);
+        assert_eq!(seq, par, "thread count changed the training result");
+    }
+
+    #[test]
+    fn early_stopping_halts_training() {
+        let data = mm1_dataset(6, 4);
+        let mut model = tiny_model();
+        // Zero learning rate: the loss can never improve after epoch 0, so
+        // patience must cut the run short.
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 3,
+            lr: 1e-12,
+            patience: Some(2),
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data[..4], &data[4..], &cfg);
+        assert!(
+            report.epochs.len() <= 5,
+            "expected early stop, ran {} epochs",
+            report.epochs.len()
+        );
+        // best_epoch may still creep by float-noise improvements; the point
+        // is that none of them were significant enough to reset patience.
+        assert!(report.best_epoch < report.epochs.len());
+    }
+
+    #[test]
+    fn patience_none_runs_all_epochs() {
+        let data = mm1_dataset(4, 5);
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 2,
+            lr: 1e-12,
+            patience: None,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data, &[], &cfg);
+        assert_eq!(report.epochs.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_set_panics() {
+        let mut model = tiny_model();
+        train(&mut model, &[], &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests of RouteNet's structural invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routenet_core::prelude::*;
+use routenet_netgraph::routing::{shortest_path_routing, RoutingScheme};
+use routenet_netgraph::{generate, Graph, NodeId, TrafficMatrix};
+
+fn model(seed: u64) -> RouteNet {
+    let mut m = RouteNet::new(RouteNetConfig {
+        link_state_dim: 6,
+        path_state_dim: 6,
+        readout_hidden: 8,
+        t_iterations: 3,
+        predict_jitter: true,
+        predict_drops: false,
+        seed,
+    });
+    m.set_normalizer(Normalizer {
+        capacity_scale: 10_000.0,
+        traffic_scale: 500.0,
+        ..Normalizer::default()
+    });
+    m
+}
+
+fn random_scenario(n: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generate::synthetic(n, &mut rng);
+    let routing = shortest_path_routing(&graph).unwrap();
+    let mut traffic = TrafficMatrix::zeros(n);
+    for (s, d) in graph.node_pairs() {
+        traffic.set_demand(s, d, 100.0 + 900.0 * rand::Rng::gen::<f64>(&mut rng));
+    }
+    Scenario { graph, routing, traffic }
+}
+
+/// Apply a node permutation to a scenario: relabel nodes, re-add links in
+/// permuted order, remap routing paths and demands.
+fn permute_scenario(sc: &Scenario, perm: &[usize]) -> Scenario {
+    let n = sc.graph.n_nodes();
+    let mut graph = Graph::new(sc.graph.name.clone(), n);
+    // Recreate links in the order induced by sorting permuted endpoints so
+    // link ids differ from the original — a stronger test.
+    let mut edges: Vec<(usize, usize, f64, f64)> = sc
+        .graph
+        .links()
+        .map(|(_, l)| (perm[l.src.0], perm[l.dst.0], l.capacity_bps, l.prop_delay_s))
+        .collect();
+    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    for (s, d, cap, pd) in edges {
+        graph.add_link(NodeId(s), NodeId(d), cap, pd).unwrap();
+    }
+    let routing = RoutingScheme::from_node_paths(&graph, |s, d| {
+        // Map back to original node ids, look up the original path, map it
+        // forward through the permutation.
+        let inv: Vec<usize> = {
+            let mut inv = vec![0; n];
+            for (i, &p) in perm.iter().enumerate() {
+                inv[p] = i;
+            }
+            inv
+        };
+        let os = NodeId(inv[s.0]);
+        let od = NodeId(inv[d.0]);
+        let onodes = sc.routing.node_path(&sc.graph, os, od).ok()?;
+        Some(onodes.into_iter().map(|x| NodeId(perm[x.0])).collect())
+    })
+    .unwrap();
+    let mut traffic = TrafficMatrix::zeros(n);
+    for (s, d, v) in sc.traffic.entries() {
+        if v > 0.0 {
+            traffic.set_demand(NodeId(perm[s.0]), NodeId(perm[d.0]), v);
+        }
+    }
+    Scenario { graph, routing, traffic }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// RouteNet is equivariant under node relabeling: permuting node ids
+    /// (and hence link ids and pair order) permutes the predictions and
+    /// changes no value. The GNN sees only structure, never labels.
+    #[test]
+    fn node_relabeling_equivariance(seed in 0u64..200, perm_seed in 0u64..200) {
+        let n = 7usize;
+        let sc = random_scenario(n, seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        perm.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let permuted = permute_scenario(&sc, &perm);
+        permuted.validate().unwrap();
+
+        let m = model(1);
+        let p_orig = m.predict(&sc);
+        let p_perm = m.predict(&permuted);
+
+        // pair (s, d) in the original corresponds to (perm[s], perm[d]).
+        let orig_pairs = sc.pairs();
+        let perm_pairs = permuted.pairs();
+        for (i, (s, d)) in orig_pairs.iter().enumerate() {
+            let target = (NodeId(perm[s.0]), NodeId(perm[d.0]));
+            let j = perm_pairs.iter().position(|p| *p == target).unwrap();
+            let a = p_orig[i].delay_s;
+            let b = p_perm[j].delay_s;
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "pair {s}->{d}: {a} vs {b} after relabeling"
+            );
+        }
+    }
+
+    /// Doubling every capacity and every demand leaves all path/link
+    /// *features* unchanged only if the normalizer scales with them — with a
+    /// fixed normalizer the predictions must change. Guards against the
+    /// model silently ignoring its inputs.
+    #[test]
+    fn sensitivity_to_capacity(seed in 0u64..200) {
+        let sc = random_scenario(6, seed);
+        let mut scaled = sc.clone();
+        let ids: Vec<_> = scaled.graph.links().map(|(id, _)| id).collect();
+        for id in ids {
+            scaled.graph.link_mut(id).unwrap().capacity_bps *= 3.0;
+        }
+        let m = model(2);
+        let a = m.predict(&sc);
+        let b = m.predict(&scaled);
+        prop_assert!(a.iter().zip(&b).any(|(x, y)| x.delay_s != y.delay_s));
+    }
+
+    /// Predictions are finite and deterministic for arbitrary scenarios.
+    #[test]
+    fn predictions_always_finite_and_deterministic(seed in 0u64..500, n in 4usize..12) {
+        let sc = random_scenario(n, seed);
+        let m = model(3);
+        let a = m.predict(&sc);
+        let b = m.predict(&sc);
+        prop_assert_eq!(a.len(), n * (n - 1));
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x.delay_s.is_finite() && x.jitter_s2.is_finite());
+            prop_assert_eq!(x.delay_s, y.delay_s);
+        }
+    }
+
+    /// The compiled index is consistent: messages per iteration equal the
+    /// total hop count, regardless of topology.
+    #[test]
+    fn compiled_index_consistency(seed in 0u64..500, n in 4usize..14) {
+        let sc = random_scenario(n, seed);
+        let idx = routenet_core::indexing::PathTensors::build(&sc);
+        let total: usize = idx.positions.iter().map(|p| p.path_idx.len()).sum();
+        prop_assert_eq!(total, idx.total_hops());
+        let hops: usize = sc.graph.node_pairs()
+            .map(|(s, d)| sc.routing.hops(s, d))
+            .sum();
+        prop_assert_eq!(total, hops);
+        // Fan-in sums to the same total.
+        prop_assert_eq!(idx.link_fanin().iter().sum::<usize>(), total);
+    }
+}
+
+/// Relative-error metrics agree with a hand computation end to end through
+/// the evaluation harness.
+#[test]
+fn eval_harness_metrics_agree_with_manual() {
+    let sc = random_scenario(5, 99);
+    let n = sc.n_pairs();
+    let sample = Sample {
+        scenario: sc,
+        targets: (0..n)
+            .map(|i| TargetKpi {
+                delay_s: 0.1 + i as f64 * 0.01,
+                jitter_s2: 0.01,
+                drop_prob: 0.0,
+            })
+            .collect(),
+        topology: "T".into(),
+        intensity: 0.5,
+        seed: 0,
+    };
+    let m = model(4);
+    let ev = collect_predictions(&m, std::slice::from_ref(&sample));
+    let s = ev.delay_summary();
+    let manual_mae = ev
+        .delay_pred
+        .iter()
+        .zip(&ev.delay_true)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n as f64;
+    assert!((s.mae - manual_mae).abs() < 1e-12);
+}

@@ -1,0 +1,77 @@
+//! CLI dataset generator.
+//!
+//! ```text
+//! cargo run -p routenet-dataset --release --bin gen-dataset -- \
+//!     --topology nsfnet --samples 100 --seed 1 --out nsfnet.jsonl \
+//!     [--routing randomized|fixed|kshortest] [--intensity-min 0.2] \
+//!     [--intensity-max 0.8] [--duration 800] [--synth-nodes 50]
+//! ```
+
+use routenet_dataset::gen::{
+    generate_dataset, GenConfig, RoutingDiversity, TopologySpec,
+};
+use routenet_dataset::io::save_jsonl;
+
+fn flag(argv: &[String], key: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == &format!("--{key}"))
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let topology = match flag(&argv, "topology").as_deref().unwrap_or("nsfnet") {
+        "nsfnet" => TopologySpec::Nsfnet,
+        "geant2" => TopologySpec::Geant2,
+        "gbn" => TopologySpec::Gbn,
+        "synth" => TopologySpec::Synthetic {
+            n: flag(&argv, "synth-nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(50),
+            topo_seed: routenet_dataset::split::SYNTH50_TOPOLOGY_SEED,
+        },
+        other => {
+            eprintln!("unknown topology {other:?} (nsfnet|geant2|gbn|synth)");
+            std::process::exit(2);
+        }
+    };
+    let samples: usize = flag(&argv, "samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let seed: u64 = flag(&argv, "seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let out = flag(&argv, "out").unwrap_or_else(|| "dataset.jsonl".into());
+
+    let mut cfg = GenConfig::new(topology, samples, seed);
+    match flag(&argv, "routing").as_deref() {
+        Some("fixed") => cfg.routing = RoutingDiversity::Fixed,
+        Some("kshortest") => cfg.routing = RoutingDiversity::KShortest { k: 4 },
+        Some("randomized") | None => {}
+        Some(other) => {
+            eprintln!("unknown routing {other:?} (fixed|randomized|kshortest)");
+            std::process::exit(2);
+        }
+    }
+    if let Some(v) = flag(&argv, "intensity-min").and_then(|v| v.parse().ok()) {
+        cfg.intensity_min = v;
+    }
+    if let Some(v) = flag(&argv, "intensity-max").and_then(|v| v.parse().ok()) {
+        cfg.intensity_max = v;
+    }
+    if let Some(v) = flag(&argv, "duration").and_then(|v| v.parse().ok()) {
+        cfg.sim.duration_s = v;
+        cfg.sim.warmup_s = v / 10.0;
+    }
+
+    eprintln!(
+        "generating {samples} samples on {} (seed {seed})...",
+        cfg.topology.name()
+    );
+    let t0 = std::time::Instant::now();
+    let ds = generate_dataset(&cfg);
+    eprintln!("generated in {:.1}s, writing {out}", t0.elapsed().as_secs_f64());
+    save_jsonl(&out, &ds).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("{} samples -> {out}", ds.len());
+}

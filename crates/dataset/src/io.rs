@@ -1,0 +1,154 @@
+//! Dataset persistence: JSON-lines files (one sample per line).
+
+use routenet_core::sample::Sample;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors while reading or writing datasets.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        msg: String,
+    },
+    /// A sample failed structural validation after load.
+    Invalid {
+        /// 0-based sample index.
+        index: usize,
+        /// Validation message.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Invalid { index, msg } => write!(f, "invalid sample {index}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Write samples as JSONL (one JSON object per line).
+pub fn save_jsonl(path: impl AsRef<Path>, samples: &[Sample]) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for s in samples {
+        let line = serde_json::to_string(s).expect("samples serialize");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load samples from JSONL, rebuilding indices and validating each sample.
+pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<Sample>, IoError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut s: Sample = serde_json::from_str(&line).map_err(|e| IoError::Parse {
+            line: lineno + 1,
+            msg: e.to_string(),
+        })?;
+        s.finalize();
+        s.validate().map_err(|msg| IoError::Invalid {
+            index: out.len(),
+            msg,
+        })?;
+        out.push(s);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_dataset_with_threads, GenConfig, TopologySpec};
+
+    fn tiny_dataset() -> Vec<Sample> {
+        let mut cfg = GenConfig::new(TopologySpec::Synthetic { n: 5, topo_seed: 9 }, 3, 7);
+        cfg.sim.duration_s = 40.0;
+        cfg.sim.warmup_s = 4.0;
+        generate_dataset_with_threads(&cfg, 1)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.jsonl");
+        save_jsonl(&path, &ds).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.iter().zip(&back) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.topology, b.topology);
+            for (x, y) in a.targets.iter().zip(&b.targets) {
+                assert_eq!(x.delay_s, y.delay_s);
+                assert_eq!(x.jitter_s2, y.jitter_s2);
+            }
+            // routing survives (index rebuilt)
+            for (s, d) in a.scenario.graph.node_pairs() {
+                assert_eq!(a.scenario.routing.path(s, d), b.scenario.routing.path(s, d));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("rn-io-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        match load_jsonl(&path) {
+            Err(IoError::Parse { line: 1, .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_skips_blank_lines() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-blank-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blank.jsonl");
+        let mut content = serde_json::to_string(&ds[0]).unwrap();
+        content.push_str("\n\n");
+        content.push_str(&serde_json::to_string(&ds[1]).unwrap());
+        content.push('\n');
+        std::fs::write(&path, content).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_fs_error() {
+        match load_jsonl("/definitely/not/here.jsonl") {
+            Err(IoError::Fs(_)) => {}
+            other => panic!("expected fs error, got {other:?}"),
+        }
+    }
+}

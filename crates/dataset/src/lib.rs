@@ -1,0 +1,31 @@
+//! # routenet-dataset
+//!
+//! Dataset pipeline: turn (topology, routing diversity, traffic intensity)
+//! recipes into labeled [`routenet_core::sample::Sample`]s by running the
+//! packet-level simulator, in parallel, deterministically per seed.
+//!
+//! - [`gen`] — per-sample generation and parallel dataset generation.
+//! - [`split`] — the paper's §2.1 protocol (train on {NSFNET, Synth-50},
+//!   evaluate additionally on unseen Geant2), scaled by a config.
+//! - [`io`] — JSONL persistence.
+//!
+//! ```
+//! use routenet_dataset::gen::{GenConfig, TopologySpec, generate_dataset_with_threads};
+//!
+//! let mut cfg = GenConfig::new(TopologySpec::Nsfnet, 2, 42);
+//! cfg.sim.duration_s = 60.0; // short labels for the doctest
+//! cfg.sim.warmup_s = 6.0;
+//! let ds = generate_dataset_with_threads(&cfg, 1);
+//! assert_eq!(ds.len(), 2);
+//! assert_eq!(ds[0].targets.len(), 14 * 13);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod io;
+pub mod split;
+
+pub use gen::{generate_dataset, generate_sample, GenConfig, RoutingDiversity, TopologySpec};
+pub use io::{load_jsonl, save_jsonl};
+pub use split::{generate_paper_datasets, PaperDatasets, ProtocolConfig};

@@ -1,0 +1,214 @@
+//! The paper's §2.1 dataset protocol, parameterized by scale.
+//!
+//! Paper scale: 480k training samples from {NSFNET-14, Synth-50}, 120k
+//! evaluation samples from the same two topologies, and 300k samples from
+//! the *unseen* Geant2-24 topology. Our simulator is the label source, so
+//! the counts are a knob ([`ProtocolConfig`]); the *structure* — which
+//! topologies are seen during training and which are held out — is fixed.
+
+use crate::gen::{generate_dataset, GenConfig, TopologySpec};
+use routenet_core::sample::Sample;
+use serde::{Deserialize, Serialize};
+
+/// Seed that fixes the 50-node synthetic training topology (one graph, as in
+/// the paper — diversity comes from routing and traffic, not the graph).
+pub const SYNTH50_TOPOLOGY_SEED: u64 = 2019;
+
+/// Scale knobs for the paper protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Training samples per training topology (paper: 240k each).
+    pub train_per_topology: usize,
+    /// Validation samples per training topology.
+    pub val_per_topology: usize,
+    /// Evaluation samples per training topology (paper: 60k each).
+    pub eval_per_topology: usize,
+    /// Evaluation samples on unseen Geant2 (paper: 300k).
+    pub eval_geant2: usize,
+    /// Node count of the synthetic training topology (paper: 50).
+    pub synth_nodes: usize,
+    /// Labeling-simulation duration, seconds.
+    pub sim_duration_s: f64,
+    /// Labeling-simulation warm-up, seconds.
+    pub sim_warmup_s: f64,
+    /// Master seed; train/val/eval draws use disjoint seed ranges.
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        // Laptop-scale defaults: full pipeline (generate + train + evaluate)
+        // in minutes. Scale up with --samples flags on the bench binaries.
+        ProtocolConfig {
+            train_per_topology: 48,
+            val_per_topology: 8,
+            eval_per_topology: 24,
+            eval_geant2: 32,
+            synth_nodes: 50,
+            sim_duration_s: 600.0,
+            sim_warmup_s: 60.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The generated datasets of the paper protocol.
+#[derive(Debug, Clone)]
+pub struct PaperDatasets {
+    /// Mixed NSFNET + synthetic training set (shuffled deterministically).
+    pub train: Vec<Sample>,
+    /// Mixed validation set.
+    pub val: Vec<Sample>,
+    /// Held-out samples on NSFNET (seen topology, unseen scenarios).
+    pub eval_nsfnet: Vec<Sample>,
+    /// Held-out samples on the synthetic topology.
+    pub eval_synth: Vec<Sample>,
+    /// Samples on the unseen Geant2 topology.
+    pub eval_geant2: Vec<Sample>,
+}
+
+impl PaperDatasets {
+    /// All evaluation samples concatenated (the paper's Fig. 3 aggregates
+    /// the three evaluation sets).
+    pub fn eval_all(&self) -> Vec<Sample> {
+        let mut v = self.eval_nsfnet.clone();
+        v.extend(self.eval_synth.iter().cloned());
+        v.extend(self.eval_geant2.iter().cloned());
+        v
+    }
+}
+
+fn make_cfg(cfg: &ProtocolConfig, topo: TopologySpec, n: usize, base_seed: u64) -> GenConfig {
+    let mut g = GenConfig::new(topo, n, base_seed);
+    g.sim.duration_s = cfg.sim_duration_s;
+    g.sim.warmup_s = cfg.sim_warmup_s;
+    g
+}
+
+/// Generate every dataset of the protocol. Seed ranges are disjoint by
+/// construction: train, val and eval never share a generation seed.
+pub fn generate_paper_datasets(cfg: &ProtocolConfig) -> PaperDatasets {
+    let synth = TopologySpec::Synthetic {
+        n: cfg.synth_nodes,
+        topo_seed: SYNTH50_TOPOLOGY_SEED,
+    };
+    // Disjoint seed blocks (1M apart; no dataset approaches 1M samples here).
+    let block = 1_000_000u64;
+    let s = cfg.seed.wrapping_mul(100 * block);
+    let train_nsf = generate_dataset(&make_cfg(cfg, TopologySpec::Nsfnet, cfg.train_per_topology, s));
+    let train_syn =
+        generate_dataset(&make_cfg(cfg, synth.clone(), cfg.train_per_topology, s + block));
+    let val_nsf =
+        generate_dataset(&make_cfg(cfg, TopologySpec::Nsfnet, cfg.val_per_topology, s + 2 * block));
+    let val_syn =
+        generate_dataset(&make_cfg(cfg, synth.clone(), cfg.val_per_topology, s + 3 * block));
+    let eval_nsfnet =
+        generate_dataset(&make_cfg(cfg, TopologySpec::Nsfnet, cfg.eval_per_topology, s + 4 * block));
+    let eval_synth =
+        generate_dataset(&make_cfg(cfg, synth, cfg.eval_per_topology, s + 5 * block));
+    let eval_geant2 =
+        generate_dataset(&make_cfg(cfg, TopologySpec::Geant2, cfg.eval_geant2, s + 6 * block));
+
+    // Interleave the two training topologies deterministically so minibatches
+    // mix graph sizes even without shuffling.
+    let mut train = Vec::with_capacity(train_nsf.len() + train_syn.len());
+    let mut it_a = train_nsf.into_iter();
+    let mut it_b = train_syn.into_iter();
+    loop {
+        match (it_a.next(), it_b.next()) {
+            (None, None) => break,
+            (a, b) => {
+                if let Some(x) = a {
+                    train.push(x);
+                }
+                if let Some(x) = b {
+                    train.push(x);
+                }
+            }
+        }
+    }
+    let mut val = val_nsf;
+    val.extend(val_syn);
+
+    PaperDatasets {
+        train,
+        val,
+        eval_nsfnet,
+        eval_synth,
+        eval_geant2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn tiny_protocol() -> ProtocolConfig {
+        ProtocolConfig {
+            train_per_topology: 3,
+            val_per_topology: 1,
+            eval_per_topology: 2,
+            eval_geant2: 2,
+            synth_nodes: 8,
+            sim_duration_s: 40.0,
+            sim_warmup_s: 4.0,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn protocol_shapes_and_topologies() {
+        let ds = generate_paper_datasets(&tiny_protocol());
+        assert_eq!(ds.train.len(), 6);
+        assert_eq!(ds.val.len(), 2);
+        assert_eq!(ds.eval_nsfnet.len(), 2);
+        assert_eq!(ds.eval_synth.len(), 2);
+        assert_eq!(ds.eval_geant2.len(), 2);
+        // Training mixes exactly the two training topologies.
+        let train_topos: HashSet<_> = ds.train.iter().map(|s| s.topology.clone()).collect();
+        assert_eq!(
+            train_topos,
+            HashSet::from(["NSFNET".to_string(), "Synth-8".to_string()])
+        );
+        // Geant2 never appears in training (the unseen-topology property).
+        assert!(ds.train.iter().all(|s| s.topology != "Geant2"));
+        assert!(ds.eval_geant2.iter().all(|s| s.topology == "Geant2"));
+        assert_eq!(ds.eval_all().len(), 6);
+    }
+
+    #[test]
+    fn train_is_interleaved() {
+        let ds = generate_paper_datasets(&tiny_protocol());
+        assert_ne!(ds.train[0].topology, ds.train[1].topology);
+    }
+
+    #[test]
+    fn seed_ranges_are_disjoint() {
+        let ds = generate_paper_datasets(&tiny_protocol());
+        let mut seen = HashSet::new();
+        for s in ds
+            .train
+            .iter()
+            .chain(&ds.val)
+            .chain(&ds.eval_nsfnet)
+            .chain(&ds.eval_synth)
+            .chain(&ds.eval_geant2)
+        {
+            assert!(
+                seen.insert((s.topology.clone(), s.seed)),
+                "duplicated generation seed {} in {}",
+                s.seed,
+                s.topology
+            );
+        }
+    }
+
+    #[test]
+    fn all_samples_valid() {
+        let ds = generate_paper_datasets(&tiny_protocol());
+        for s in ds.eval_all().iter().chain(&ds.train).chain(&ds.val) {
+            s.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Graph algorithms: connectivity, shortest paths, k-shortest paths.
+//!
+//! All path-finding here operates on link `weight` attributes (set them with
+//! [`Graph::set_unit_weights`] for hop-count routing). Paths are returned as
+//! node sequences; [`crate::routing`] converts them to link sequences.
+
+use crate::graph::{Graph, LinkId, NodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// A simple path as a node sequence `src, ..., dst` (at least 2 nodes).
+pub type NodePath = Vec<NodeId>;
+
+/// True if every node can reach every other node over directed links.
+pub fn is_strongly_connected(g: &Graph) -> bool {
+    let n = g.n_nodes();
+    if n <= 1 {
+        return true;
+    }
+    // For the symmetric (duplex) graphs used in this suite, forward BFS from
+    // node 0 plus reverse BFS from node 0 decides strong connectivity.
+    reachable_from(g, NodeId(0), false).len() == n && reachable_from(g, NodeId(0), true).len() == n
+}
+
+/// Set of nodes reachable from `start` (following links forward, or backward
+/// if `reverse`).
+pub fn reachable_from(g: &Graph, start: NodeId, reverse: bool) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let links = if reverse { g.in_links(u) } else { g.out_links(u) };
+        for &l in links {
+            let link = g.link(l).expect("adjacency holds valid ids");
+            let v = if reverse { link.src } else { link.dst };
+            if seen.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist; tie-break on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path tree by link weight (Dijkstra).
+///
+/// Returns `(dist, parent_link)` where `parent_link[v]` is the link entering
+/// `v` on a shortest path from `src`, or `None` if unreachable / `v == src`.
+pub fn dijkstra(g: &Graph, src: NodeId) -> (Vec<f64>, Vec<Option<LinkId>>) {
+    let n = g.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.0] {
+            continue;
+        }
+        for &lid in g.out_links(u) {
+            let link = g.link(lid).expect("valid id");
+            debug_assert!(link.weight >= 0.0, "Dijkstra requires non-negative weights");
+            let nd = d + link.weight;
+            if nd < dist[link.dst.0] {
+                dist[link.dst.0] = nd;
+                parent[link.dst.0] = Some(lid);
+                heap.push(HeapEntry { dist: nd, node: link.dst });
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest path from `src` to `dst` as a node sequence, or `None` if
+/// unreachable.
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<NodePath> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let (dist, parent) = dijkstra(g, src);
+    if !dist[dst.0].is_finite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let lid = parent[cur.0]?;
+        let link = g.link(lid).ok()?;
+        cur = link.src;
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Total weight of a node path (sum of link weights along it).
+/// Returns `None` if any consecutive pair has no link.
+pub fn path_weight(g: &Graph, path: &[NodeId]) -> Option<f64> {
+    let mut w = 0.0;
+    for pair in path.windows(2) {
+        let lid = g.link_between(pair[0], pair[1])?;
+        w += g.link(lid).ok()?.weight;
+    }
+    Some(w)
+}
+
+/// Yen's algorithm: up to `k` loopless shortest paths from `src` to `dst`,
+/// ordered by increasing total weight.
+///
+/// Used to generate diverse routing schemes (the paper trains over "a wide
+/// variety of routing schemes" per topology).
+pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<NodePath> {
+    let mut result: Vec<NodePath> = Vec::new();
+    let Some(first) = shortest_path(g, src, dst) else {
+        return result;
+    };
+    result.push(first);
+    // Candidate set of (weight, path).
+    let mut candidates: Vec<(f64, NodePath)> = Vec::new();
+    while result.len() < k {
+        let last = result.last().expect("non-empty").clone();
+        for i in 0..last.len() - 1 {
+            let spur_node = last[i];
+            let root_path = &last[..=i];
+            // Build a filtered graph: remove links used by previous results
+            // sharing this root, and remove root nodes (except spur).
+            let mut banned_links: HashSet<LinkId> = HashSet::new();
+            for p in result.iter().chain(candidates.iter().map(|(_, p)| p)) {
+                if p.len() > i && p[..=i] == *root_path {
+                    if let Some(lid) = g.link_between(p[i], p[i + 1]) {
+                        banned_links.insert(lid);
+                    }
+                }
+            }
+            let banned_nodes: HashSet<NodeId> = root_path[..i].iter().copied().collect();
+            if let Some(spur) = shortest_path_filtered(g, spur_node, dst, &banned_links, &banned_nodes)
+            {
+                let mut total = root_path.to_vec();
+                total.extend_from_slice(&spur[1..]);
+                if let Some(w) = path_weight(g, &total) {
+                    if !result.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
+                        candidates.push((w, total));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the lightest candidate (deterministic tie-break on path lexicographic order).
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        result.push(candidates.remove(0).1);
+    }
+    result
+}
+
+fn shortest_path_filtered(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    banned_links: &HashSet<LinkId>,
+    banned_nodes: &HashSet<NodeId>,
+) -> Option<NodePath> {
+    let n = g.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.0] {
+            continue;
+        }
+        for &lid in g.out_links(u) {
+            if banned_links.contains(&lid) {
+                continue;
+            }
+            let link = g.link(lid).expect("valid id");
+            if banned_nodes.contains(&link.dst) {
+                continue;
+            }
+            let nd = d + link.weight;
+            if nd < dist[link.dst.0] {
+                dist[link.dst.0] = nd;
+                parent[link.dst.0] = Some(lid);
+                heap.push(HeapEntry { dist: nd, node: link.dst });
+            }
+        }
+    }
+    if !dist[dst.0].is_finite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let lid = parent[cur.0]?;
+        cur = g.link(lid).ok()?.src;
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Edge betweenness centrality on hop-count shortest paths (Brandes'
+/// algorithm adapted to directed links).
+///
+/// `betweenness[l]` is the sum over ordered pairs `(s, t)` of the fraction
+/// of shortest `s→t` paths that traverse link `l`. High-betweenness links
+/// are the structural bottlenecks that network-visibility analytics surface.
+pub fn edge_betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.n_nodes();
+    let mut centrality = vec![0.0f64; g.n_links()];
+    for s in 0..n {
+        // BFS from s tracking shortest-path counts.
+        let mut dist = vec![usize::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut preds: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut queue = VecDeque::new();
+        dist[s] = 0;
+        sigma[s] = 1.0;
+        queue.push_back(NodeId(s));
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &lid in g.out_links(u) {
+                let v = g.link(lid).expect("valid id").dst;
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v.0] == dist[u.0] + 1 {
+                    sigma[v.0] += sigma[u.0];
+                    preds[v.0].push(lid);
+                }
+            }
+        }
+        // Back-propagate dependencies.
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &lid in &preds[w.0] {
+                let u = g.link(lid).expect("valid id").src;
+                let share = sigma[u.0] / sigma[w.0] * (1.0 + delta[w.0]);
+                centrality[lid.0] += share;
+                delta[u.0] += share;
+            }
+        }
+    }
+    centrality
+}
+
+/// Hop-count diameter: longest shortest path (in hops) over all pairs.
+/// Requires strong connectivity; returns `None` otherwise.
+pub fn diameter_hops(g: &Graph) -> Option<usize> {
+    let n = g.n_nodes();
+    let mut best = 0usize;
+    for s in 0..n {
+        // BFS by hops.
+        let mut depth = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        depth[s] = 0;
+        queue.push_back(NodeId(s));
+        while let Some(u) = queue.pop_front() {
+            for v in g.successors(u) {
+                if depth[v.0] == usize::MAX {
+                    depth[v.0] = depth[u.0] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (v, &d) in depth.iter().enumerate() {
+            if d == usize::MAX && v != s {
+                return None;
+            }
+            if d != usize::MAX {
+                best = best.max(d);
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Average shortest-path length in hops over all ordered pairs.
+/// Returns `None` if the graph is not strongly connected.
+pub fn avg_path_length_hops(g: &Graph) -> Option<f64> {
+    let n = g.n_nodes();
+    if n < 2 {
+        return Some(0.0);
+    }
+    let mut total = 0usize;
+    for s in 0..n {
+        let mut depth = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        depth[s] = 0;
+        queue.push_back(NodeId(s));
+        while let Some(u) = queue.pop_front() {
+            for v in g.successors(u) {
+                if depth[v.0] == usize::MAX {
+                    depth[v.0] = depth[u.0] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (v, &d) in depth.iter().enumerate() {
+            if v != s {
+                if d == usize::MAX {
+                    return None;
+                }
+                total += d;
+            }
+        }
+    }
+    Some(total as f64 / (n * (n - 1)) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3 line plus a heavy shortcut 0->3.
+    fn line_with_shortcut() -> Graph {
+        let mut g = Graph::new("line", 4);
+        g.add_duplex(NodeId(0), NodeId(1), 1e6, 0.0).unwrap();
+        g.add_duplex(NodeId(1), NodeId(2), 1e6, 0.0).unwrap();
+        g.add_duplex(NodeId(2), NodeId(3), 1e6, 0.0).unwrap();
+        g.add_duplex(NodeId(0), NodeId(3), 1e6, 0.0).unwrap();
+        let l = g.link_between(NodeId(0), NodeId(3)).unwrap();
+        g.link_mut(l).unwrap().weight = 10.0;
+        let l = g.link_between(NodeId(3), NodeId(0)).unwrap();
+        g.link_mut(l).unwrap().weight = 10.0;
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path() {
+        let g = line_with_shortcut();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(path_weight(&g, &p), Some(3.0));
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let mut g = Graph::new("disc", 3);
+        g.add_duplex(NodeId(0), NodeId(1), 1e6, 0.0).unwrap();
+        assert_eq!(shortest_path(&g, NodeId(0), NodeId(2)), None);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let g = line_with_shortcut();
+        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn connectivity_of_duplex_line() {
+        let g = line_with_shortcut();
+        assert!(is_strongly_connected(&g));
+        assert_eq!(reachable_from(&g, NodeId(0), false).len(), 4);
+        assert_eq!(reachable_from(&g, NodeId(0), true).len(), 4);
+    }
+
+    #[test]
+    fn one_way_graph_not_strongly_connected() {
+        let mut g = Graph::new("oneway", 2);
+        g.add_link(NodeId(0), NodeId(1), 1e6, 0.0).unwrap();
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn yen_finds_distinct_ordered_paths() {
+        let g = line_with_shortcut();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 3);
+        assert_eq!(ps.len(), 2); // only two simple paths exist
+        assert_eq!(ps[0], vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(ps[1], vec![NodeId(0), NodeId(3)]);
+        let w0 = path_weight(&g, &ps[0]).unwrap();
+        let w1 = path_weight(&g, &ps[1]).unwrap();
+        assert!(w0 <= w1);
+    }
+
+    #[test]
+    fn yen_k1_equals_dijkstra() {
+        let g = line_with_shortcut();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(2), 1);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0], shortest_path(&g, NodeId(0), NodeId(2)).unwrap());
+    }
+
+    #[test]
+    fn yen_paths_are_loopless() {
+        let mut g = Graph::new("k4", 4);
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                g.add_duplex(NodeId(a as usize), NodeId(b as usize), 1e6, 0.0)
+                    .unwrap();
+            }
+        }
+        for p in k_shortest_paths(&g, NodeId(0), NodeId(3), 8) {
+            let set: HashSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len(), "path {p:?} has a loop");
+            assert_eq!(*p.first().unwrap(), NodeId(0));
+            assert_eq!(*p.last().unwrap(), NodeId(3));
+        }
+    }
+
+    /// Brute-force betweenness: enumerate all shortest paths per pair.
+    fn brute_betweenness(g: &Graph) -> Vec<f64> {
+        fn all_shortest(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<LinkId>> {
+            // BFS layers then DFS over predecessor DAG.
+            let n = g.n_nodes();
+            let mut dist = vec![usize::MAX; n];
+            dist[s.0] = 0;
+            let mut queue = VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &lid in g.out_links(u) {
+                    let v = g.link(lid).unwrap().dst;
+                    if dist[v.0] == usize::MAX {
+                        dist[v.0] = dist[u.0] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            let mut stack = vec![(t, Vec::new())];
+            while let Some((v, path)) = stack.pop() {
+                if v == s {
+                    let mut p: Vec<LinkId> = path.clone();
+                    p.reverse();
+                    out.push(p);
+                    continue;
+                }
+                for &lid in g.in_links(v) {
+                    let u = g.link(lid).unwrap().src;
+                    if dist[u.0] + 1 == dist[v.0] {
+                        let mut p = path.clone();
+                        p.push(lid);
+                        stack.push((u, p));
+                    }
+                }
+            }
+            out
+        }
+        let mut c = vec![0.0; g.n_links()];
+        for (s, t) in g.node_pairs() {
+            let paths = all_shortest(g, s, t);
+            if paths.is_empty() {
+                continue;
+            }
+            let frac = 1.0 / paths.len() as f64;
+            for p in &paths {
+                for l in p {
+                    c[l.0] += frac;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn betweenness_matches_brute_force_on_zoo() {
+        for g in [crate::topology::nsfnet(), crate::topology::gbn()] {
+            let fast = edge_betweenness(&g);
+            let brute = brute_betweenness(&g);
+            for (i, (a, b)) in fast.iter().zip(&brute).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{}: link {i}: brandes {a} vs brute {b}",
+                    g.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn betweenness_ring_uniform() {
+        // Perfect symmetry: every link carries the same load.
+        let g = crate::generate::ring(6);
+        let c = edge_betweenness(&g);
+        for w in c.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+        // Total betweenness = total shortest-path hops over pairs.
+        let total: f64 = c.iter().sum();
+        let expected: f64 = g
+            .node_pairs()
+            .map(|(s, d)| (shortest_path(&g, s, d).unwrap().len() - 1) as f64)
+            .sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_star_center_dominates() {
+        // Star: all transit flows pass the hub's links.
+        let mut g = Graph::new("star", 5);
+        for leaf in 1..5 {
+            g.add_duplex(NodeId(0), NodeId(leaf), 1e6, 0.0).unwrap();
+        }
+        let c = edge_betweenness(&g);
+        // Each directed hub link (0->leaf) carries: 1 (pair 0->leaf) + 3
+        // (transit from other leaves) = 4; leaf->0 likewise.
+        for v in c {
+            assert!((v - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diameter_and_avg_length() {
+        let mut g = Graph::new("line3", 3);
+        g.add_duplex(NodeId(0), NodeId(1), 1e6, 0.0).unwrap();
+        g.add_duplex(NodeId(1), NodeId(2), 1e6, 0.0).unwrap();
+        assert_eq!(diameter_hops(&g), Some(2));
+        // pairs: 0-1:1, 0-2:2, 1-0:1, 1-2:1, 2-0:2, 2-1:1 => 8/6
+        assert!((avg_path_length_hops(&g).unwrap() - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let mut g = Graph::new("disc", 3);
+        g.add_duplex(NodeId(0), NodeId(1), 1e6, 0.0).unwrap();
+        assert_eq!(diameter_hops(&g), None);
+        assert_eq!(avg_path_length_hops(&g), None);
+    }
+}

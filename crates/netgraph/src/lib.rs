@@ -1,0 +1,48 @@
+//! # routenet-netgraph
+//!
+//! Network-graph substrate for the RouteNet generalization suite: directed
+//! capacitated topologies, a topology zoo (NSFNET, Geant2, GBN), random
+//! topology generators, source/destination routing schemes, and traffic
+//! matrices with intensity control.
+//!
+//! Everything downstream builds on these types: the discrete-event simulator
+//! walks [`graph::Graph`] links, the RouteNet GNN assembles its message
+//! passing from a [`routing::RoutingScheme`], and dataset intensity sweeps
+//! use [`traffic::scale_to_max_utilization`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use routenet_netgraph::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let g = topology::nsfnet();
+//! let r = routing::shortest_path_routing(&g).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let tm = traffic::sample_traffic_matrix(
+//!     &g, &r, &traffic::TrafficModel::Gravity, 0.6, &mut rng);
+//! assert!((traffic::max_utilization(&g, &r, &tm) - 0.6).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod generate;
+pub mod graph;
+pub mod routing;
+pub mod topology;
+pub mod traffic;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::algo;
+    pub use crate::generate;
+    pub use crate::graph::{Graph, Link, LinkId, NodeId};
+    pub use crate::routing::{self, RoutingScheme};
+    pub use crate::topology;
+    pub use crate::traffic::{self, TrafficMatrix, TrafficModel};
+}
+
+pub use graph::{Graph, Link, LinkId, NodeId};
+pub use routing::RoutingScheme;
+pub use traffic::{TrafficMatrix, TrafficModel};

@@ -1,0 +1,532 @@
+//! Source/destination routing schemes.
+//!
+//! A [`RoutingScheme`] fixes one loop-free path per ordered node pair — the
+//! same abstraction the paper feeds RouteNet ("a source-destination routing
+//! scheme"). Generators produce the routing diversity the training protocol
+//! needs: deterministic shortest path, randomized link-weight shortest path,
+//! and random-k-shortest-path selection.
+
+use crate::algo::{k_shortest_paths, shortest_path, NodePath};
+use crate::graph::{Graph, GraphError, LinkId, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors when building or validating a routing scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// No path exists between a pair (graph not strongly connected).
+    Unreachable {
+        /// Source node id.
+        src: usize,
+        /// Destination node id.
+        dst: usize,
+    },
+    /// A stored path is malformed (wrong endpoints or a missing link).
+    InvalidPath {
+        /// Source node id.
+        src: usize,
+        /// Destination node id.
+        dst: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Unreachable { src, dst } => write!(f, "no path from {src} to {dst}"),
+            RoutingError::InvalidPath { src, dst, reason } => {
+                write!(f, "invalid path {src}->{dst}: {reason}")
+            }
+            RoutingError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+impl From<GraphError> for RoutingError {
+    fn from(e: GraphError) -> Self {
+        RoutingError::Graph(e)
+    }
+}
+
+/// A complete source-destination routing scheme: exactly one path per ordered
+/// node pair `(s, d)`, `s != d`, stored as a link-id sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingScheme {
+    n_nodes: usize,
+    /// `paths[s * n + d]` = link sequence from s to d (empty for s == d).
+    paths: Vec<Vec<LinkId>>,
+}
+
+impl RoutingScheme {
+    /// Build from per-pair node paths. Validates continuity against `g`.
+    pub fn from_node_paths(
+        g: &Graph,
+        mut pair_paths: impl FnMut(NodeId, NodeId) -> Option<NodePath>,
+    ) -> Result<Self, RoutingError> {
+        let n = g.n_nodes();
+        let mut paths = vec![Vec::new(); n * n];
+        for (s, d) in g.node_pairs() {
+            let np = pair_paths(s, d).ok_or(RoutingError::Unreachable { src: s.0, dst: d.0 })?;
+            let lp = node_path_to_links(g, s, d, &np)?;
+            paths[s.0 * n + d.0] = lp;
+        }
+        Ok(RoutingScheme { n_nodes: n, paths })
+    }
+
+    /// Number of nodes this scheme was built for.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of routed pairs (`n * (n-1)`).
+    pub fn n_pairs(&self) -> usize {
+        self.n_nodes * (self.n_nodes - 1)
+    }
+
+    /// Link sequence for the pair `(s, d)`. Empty slice iff `s == d`.
+    pub fn path(&self, s: NodeId, d: NodeId) -> &[LinkId] {
+        &self.paths[s.0 * self.n_nodes + d.0]
+    }
+
+    /// Iterate `(src, dst, links)` over all routed pairs in canonical order.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, &[LinkId])> {
+        let n = self.n_nodes;
+        (0..n).flat_map(move |s| {
+            (0..n).filter(move |d| *d != s).map(move |d| {
+                (NodeId(s), NodeId(d), self.paths[s * n + d].as_slice())
+            })
+        })
+    }
+
+    /// Node sequence of the path for `(s, d)`.
+    pub fn node_path(&self, g: &Graph, s: NodeId, d: NodeId) -> Result<NodePath, RoutingError> {
+        let mut nodes = vec![s];
+        for &l in self.path(s, d) {
+            nodes.push(g.link(l)?.dst);
+        }
+        Ok(nodes)
+    }
+
+    /// Hop count for `(s, d)`.
+    pub fn hops(&self, s: NodeId, d: NodeId) -> usize {
+        self.path(s, d).len()
+    }
+
+    /// Longest path length in links over all pairs.
+    pub fn max_hops(&self) -> usize {
+        self.paths.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+
+    /// All pairs whose path traverses `link`, in canonical order.
+    pub fn pairs_through(&self, link: LinkId) -> Vec<(NodeId, NodeId)> {
+        let n = self.n_nodes;
+        let mut out = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && self.paths[s * n + d].contains(&link) {
+                    out.push((NodeId(s), NodeId(d)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate every stored path against `g`: endpoints match, links chain
+    /// head-to-tail, and no link repeats (loop-freedom).
+    pub fn validate(&self, g: &Graph) -> Result<(), RoutingError> {
+        if self.n_nodes != g.n_nodes() {
+            return Err(RoutingError::InvalidPath {
+                src: 0,
+                dst: 0,
+                reason: format!(
+                    "scheme built for {} nodes, graph has {}",
+                    self.n_nodes,
+                    g.n_nodes()
+                ),
+            });
+        }
+        for (s, d, links) in self.pairs() {
+            if links.is_empty() {
+                return Err(RoutingError::InvalidPath {
+                    src: s.0,
+                    dst: d.0,
+                    reason: "empty path".into(),
+                });
+            }
+            let mut cur = s;
+            let mut seen = std::collections::HashSet::new();
+            for &l in links {
+                if !seen.insert(l) {
+                    return Err(RoutingError::InvalidPath {
+                        src: s.0,
+                        dst: d.0,
+                        reason: format!("link {l} repeated"),
+                    });
+                }
+                let link = g.link(l)?;
+                if link.src != cur {
+                    return Err(RoutingError::InvalidPath {
+                        src: s.0,
+                        dst: d.0,
+                        reason: format!("link {l} does not start at {cur}"),
+                    });
+                }
+                cur = link.dst;
+            }
+            if cur != d {
+                return Err(RoutingError::InvalidPath {
+                    src: s.0,
+                    dst: d.0,
+                    reason: format!("path ends at {cur}, expected {d}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn node_path_to_links(
+    g: &Graph,
+    s: NodeId,
+    d: NodeId,
+    np: &[NodeId],
+) -> Result<Vec<LinkId>, RoutingError> {
+    if np.first() != Some(&s) || np.last() != Some(&d) {
+        return Err(RoutingError::InvalidPath {
+            src: s.0,
+            dst: d.0,
+            reason: format!("node path endpoints {:?} mismatch", (np.first(), np.last())),
+        });
+    }
+    let mut links = Vec::with_capacity(np.len().saturating_sub(1));
+    for w in np.windows(2) {
+        let lid = g
+            .link_between(w[0], w[1])
+            .ok_or_else(|| RoutingError::InvalidPath {
+                src: s.0,
+                dst: d.0,
+                reason: format!("no link {} -> {}", w[0], w[1]),
+            })?;
+        links.push(lid);
+    }
+    Ok(links)
+}
+
+/// Deterministic shortest-path routing over the graph's current link weights.
+pub fn shortest_path_routing(g: &Graph) -> Result<RoutingScheme, RoutingError> {
+    RoutingScheme::from_node_paths(g, |s, d| shortest_path(g, s, d))
+}
+
+/// Randomized shortest-path routing: perturb every link weight with a random
+/// factor in `[1, 1 + spread)`, then route on the perturbed weights. Distinct
+/// seeds yield distinct but still "reasonable" routing schemes — this is the
+/// routing-diversity knob used when generating training data.
+pub fn randomized_routing<R: Rng>(
+    g: &Graph,
+    spread: f64,
+    rng: &mut R,
+) -> Result<RoutingScheme, RoutingError> {
+    assert!(spread >= 0.0 && spread.is_finite());
+    let mut pg = g.clone();
+    let ids: Vec<_> = pg.links().map(|(id, _)| id).collect();
+    for id in ids {
+        let f = 1.0 + rng.gen::<f64>() * spread;
+        let l = pg.link_mut(id).expect("valid id");
+        l.weight *= f;
+    }
+    RoutingScheme::from_node_paths(&pg, |s, d| shortest_path(&pg, s, d))
+}
+
+/// Destination-based routing: one reverse shortest-path tree per
+/// destination, as installed by destination-keyed forwarding tables (IP
+/// longest-prefix match). Guarantees the *suffix property*: if the path
+/// `s→d` passes through `v`, then the path `v→d` is exactly its suffix —
+/// a consistency that per-pair path selection (e.g. k-shortest) need not
+/// have.
+pub fn destination_based_routing(g: &Graph) -> Result<RoutingScheme, RoutingError> {
+    let n = g.n_nodes();
+    // For each destination d, run Dijkstra on the reversed graph from d,
+    // yielding for every node its next link toward d.
+    let mut next_link: Vec<Vec<Option<LinkId>>> = vec![vec![None; n]; n];
+    for d in 0..n {
+        let (dist, _) = reverse_dijkstra(g, NodeId(d));
+        for s in 0..n {
+            if s == d || !dist[s].is_finite() {
+                continue;
+            }
+            // Choose the outgoing link that lies on a shortest path,
+            // deterministic tie-break on link id.
+            let mut best: Option<(f64, LinkId)> = None;
+            for &lid in g.out_links(NodeId(s)) {
+                let link = g.link(lid)?;
+                let cand = link.weight + dist[link.dst.0];
+                let better = match best {
+                    None => true,
+                    Some((w, bl)) => cand < w - 1e-12 || ((cand - w).abs() <= 1e-12 && lid.0 < bl.0),
+                };
+                if better {
+                    best = Some((cand, lid));
+                }
+            }
+            next_link[d][s] = best.map(|(_, l)| l);
+        }
+    }
+    let mut paths = vec![Vec::new(); n * n];
+    for (s, d) in g.node_pairs() {
+        let mut cur = s;
+        let mut links = Vec::new();
+        while cur != d {
+            let lid = next_link[d.0][cur.0].ok_or(RoutingError::Unreachable {
+                src: s.0,
+                dst: d.0,
+            })?;
+            links.push(lid);
+            cur = g.link(lid)?.dst;
+            if links.len() > n {
+                return Err(RoutingError::InvalidPath {
+                    src: s.0,
+                    dst: d.0,
+                    reason: "forwarding loop".into(),
+                });
+            }
+        }
+        paths[s.0 * n + d.0] = links;
+    }
+    Ok(RoutingScheme { n_nodes: n, paths })
+}
+
+/// Dijkstra over reversed links from `dst`: `dist[v]` = weight of the
+/// lightest `v → dst` path.
+fn reverse_dijkstra(g: &Graph, dst: NodeId) -> (Vec<f64>, Vec<Option<LinkId>>) {
+    let n = g.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[dst.0] = 0.0;
+    heap.push(RevEntry { dist: 0.0, node: dst });
+    while let Some(RevEntry { dist: dcur, node: u }) = heap.pop() {
+        if dcur > dist[u.0] {
+            continue;
+        }
+        for &lid in g.in_links(u) {
+            let link = g.link(lid).expect("valid id");
+            let nd = dcur + link.weight;
+            if nd < dist[link.src.0] {
+                dist[link.src.0] = nd;
+                parent[link.src.0] = Some(lid);
+                heap.push(RevEntry { dist: nd, node: link.src });
+            }
+        }
+    }
+    (dist, parent)
+}
+
+#[derive(PartialEq)]
+struct RevEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for RevEntry {}
+
+impl Ord for RevEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for RevEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Random k-shortest-path routing: per pair, pick uniformly among the `k`
+/// lightest loopless paths. Produces heavier route diversity (including
+/// deliberately non-optimal detours) than weight perturbation.
+pub fn k_path_random_routing<R: Rng>(
+    g: &Graph,
+    k: usize,
+    rng: &mut R,
+) -> Result<RoutingScheme, RoutingError> {
+    assert!(k >= 1);
+    RoutingScheme::from_node_paths(g, |s, d| {
+        let cands = k_shortest_paths(g, s, d, k);
+        if cands.is_empty() {
+            None
+        } else {
+            Some(cands[rng.gen_range(0..cands.len())].clone())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::nsfnet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sp_routing_covers_all_pairs_and_validates() {
+        let g = nsfnet();
+        let r = shortest_path_routing(&g).unwrap();
+        assert_eq!(r.n_pairs(), 14 * 13);
+        r.validate(&g).unwrap();
+        assert_eq!(r.pairs().count(), 14 * 13);
+    }
+
+    #[test]
+    fn sp_routing_paths_minimal_in_hops() {
+        let mut g = nsfnet();
+        g.set_unit_weights();
+        let r = shortest_path_routing(&g).unwrap();
+        for (s, d, links) in r.pairs() {
+            let sp = shortest_path(&g, s, d).unwrap();
+            assert_eq!(links.len(), sp.len() - 1, "pair {s}->{d} not minimal");
+        }
+    }
+
+    #[test]
+    fn adjacent_pair_routes_direct() {
+        let g = nsfnet();
+        let r = shortest_path_routing(&g).unwrap();
+        let l = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(r.path(NodeId(0), NodeId(1)), &[l]);
+        assert_eq!(r.hops(NodeId(0), NodeId(1)), 1);
+    }
+
+    #[test]
+    fn randomized_routing_differs_across_seeds_but_validates() {
+        let g = nsfnet();
+        let r1 = randomized_routing(&g, 2.0, &mut StdRng::seed_from_u64(1)).unwrap();
+        let r2 = randomized_routing(&g, 2.0, &mut StdRng::seed_from_u64(2)).unwrap();
+        r1.validate(&g).unwrap();
+        r2.validate(&g).unwrap();
+        let differs = g
+            .node_pairs()
+            .any(|(s, d)| r1.path(s, d) != r2.path(s, d));
+        assert!(differs, "different seeds should give different schemes");
+    }
+
+    #[test]
+    fn randomized_routing_zero_spread_is_shortest_path() {
+        let g = nsfnet();
+        let det = shortest_path_routing(&g).unwrap();
+        let r = randomized_routing(&g, 0.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        for (s, d) in g.node_pairs() {
+            assert_eq!(det.path(s, d), r.path(s, d));
+        }
+    }
+
+    #[test]
+    fn k_path_routing_validates_and_uses_detours() {
+        let g = nsfnet();
+        let r = k_path_random_routing(&g, 4, &mut StdRng::seed_from_u64(5)).unwrap();
+        r.validate(&g).unwrap();
+        // With k=4 at least one pair should deviate from the deterministic SP.
+        let det = shortest_path_routing(&g).unwrap();
+        assert!(g.node_pairs().any(|(s, d)| r.path(s, d) != det.path(s, d)));
+    }
+
+    #[test]
+    fn destination_based_routing_validates_and_is_shortest() {
+        let mut g = nsfnet();
+        g.set_unit_weights();
+        let r = destination_based_routing(&g).unwrap();
+        r.validate(&g).unwrap();
+        for (s, d, links) in r.pairs() {
+            let sp = shortest_path(&g, s, d).unwrap();
+            assert_eq!(links.len(), sp.len() - 1, "{s}->{d} not hop-minimal");
+        }
+    }
+
+    #[test]
+    fn destination_based_routing_has_suffix_property() {
+        let g = nsfnet();
+        let r = destination_based_routing(&g).unwrap();
+        for (s, d, links) in r.pairs() {
+            // At every intermediate node v, the remaining links must equal
+            // path(v, d) exactly.
+            let mut cur = s;
+            for (i, &l) in links.iter().enumerate() {
+                if cur != s {
+                    assert_eq!(
+                        &links[i..],
+                        &r.path(cur, d)[..],
+                        "suffix property violated at {cur} on {s}->{d}"
+                    );
+                }
+                cur = g.link(l).unwrap().dst;
+            }
+        }
+    }
+
+    #[test]
+    fn k_path_routing_may_violate_suffix_property() {
+        // Contrast: per-pair random path choice is NOT forwarding-consistent
+        // in general. We only check that the machinery runs; violation is
+        // probabilistic, so no assertion on it.
+        let g = nsfnet();
+        let r = k_path_random_routing(&g, 4, &mut StdRng::seed_from_u64(2)).unwrap();
+        r.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn pairs_through_lists_exactly_traversing_pairs() {
+        let g = nsfnet();
+        let r = shortest_path_routing(&g).unwrap();
+        let l = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        let through = r.pairs_through(l);
+        assert!(through.contains(&(NodeId(0), NodeId(1))));
+        for (s, d) in &through {
+            assert!(r.path(*s, *d).contains(&l));
+        }
+        // cross-check count against brute force
+        let brute = g
+            .node_pairs()
+            .filter(|(s, d)| r.path(*s, *d).contains(&l))
+            .count();
+        assert_eq!(through.len(), brute);
+    }
+
+    #[test]
+    fn node_path_matches_link_path() {
+        let g = nsfnet();
+        let r = shortest_path_routing(&g).unwrap();
+        for (s, d, links) in r.pairs() {
+            let np = r.node_path(&g, s, d).unwrap();
+            assert_eq!(np.len(), links.len() + 1);
+            assert_eq!(np[0], s);
+            assert_eq!(*np.last().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_wrong_graph() {
+        let g = nsfnet();
+        let r = shortest_path_routing(&g).unwrap();
+        let other = crate::topology::geant2();
+        assert!(r.validate(&other).is_err());
+    }
+
+    #[test]
+    fn max_hops_bounded_by_diameter() {
+        let mut g = nsfnet();
+        g.set_unit_weights();
+        let r = shortest_path_routing(&g).unwrap();
+        let diam = crate::algo::diameter_hops(&g).unwrap();
+        assert_eq!(r.max_hops(), diam);
+    }
+}

@@ -1,0 +1,331 @@
+//! Topology zoo: the real-world topologies used by the paper, plus capacity
+//! assignment schemes.
+//!
+//! The paper trains on the 14-node NSFNET and a 50-node synthetic topology
+//! (see [`crate::generate`]) and evaluates generalization on the unseen
+//! 24-node Geant2. We also ship the 17-node GBN backbone, used by follow-up
+//! RouteNet work, as an extra held-out topology for extension experiments.
+//!
+//! NSFNET uses the canonical 14-node / 21-edge T1 backbone edge list. The
+//! Geant2 and GBN graphs match the node/link counts of the datasets used in
+//! the paper (24 nodes / 37 full-duplex links and 17 nodes / 26 links); the
+//! exact adjacency is a faithful reconstruction at the same size and density,
+//! which is what the generalization experiments depend on (the model never
+//! sees these graphs during training).
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Default link capacity in bits/s.
+///
+/// The public RouteNet/KDN datasets use small capacities (10/40 kbps) with
+/// 1000-bit average packets so that queues operate at interesting loads with
+/// few packets; we keep the same convention.
+pub const DEFAULT_CAPACITY_BPS: f64 = 10_000.0;
+
+/// Default propagation delay in seconds.
+pub const DEFAULT_PROP_DELAY_S: f64 = 0.0;
+
+fn from_edges(name: &str, n: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new(name, n);
+    for &(a, b) in edges {
+        g.add_duplex(NodeId(a), NodeId(b), DEFAULT_CAPACITY_BPS, DEFAULT_PROP_DELAY_S)
+            .expect("topology zoo edge lists are valid");
+    }
+    g
+}
+
+/// The classic 14-node, 21-edge NSFNET T1 backbone.
+pub fn nsfnet() -> Graph {
+    from_edges(
+        "NSFNET",
+        14,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 7),
+            (2, 5),
+            (3, 4),
+            (3, 8),
+            (4, 5),
+            (4, 6),
+            (5, 12),
+            (5, 13),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (9, 10),
+            (9, 12),
+            (10, 11),
+            (10, 13),
+            (11, 12),
+        ],
+    )
+}
+
+/// A 24-node, 37-edge Geant2-scale European backbone.
+pub fn geant2() -> Graph {
+    from_edges(
+        "Geant2",
+        24,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (1, 6),
+            (1, 9),
+            (2, 3),
+            (2, 4),
+            (3, 5),
+            (3, 6),
+            (4, 7),
+            (5, 8),
+            (6, 8),
+            (6, 9),
+            (7, 8),
+            (7, 11),
+            (8, 11),
+            (8, 12),
+            (8, 17),
+            (8, 18),
+            (8, 20),
+            (9, 10),
+            (9, 12),
+            (9, 13),
+            (10, 13),
+            (11, 14),
+            (11, 20),
+            (12, 13),
+            (12, 19),
+            (12, 21),
+            (13, 16),
+            (14, 15),
+            (15, 16),
+            (16, 17),
+            (16, 21),
+            (16, 22),
+            (18, 21),
+            (19, 23),
+        ],
+    )
+}
+
+/// A 17-node, 26-edge German-backbone-scale topology (GBN).
+pub fn gbn() -> Graph {
+    from_edges(
+        "GBN",
+        17,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (2, 7),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (5, 7),
+            (6, 8),
+            (6, 11),
+            (7, 8),
+            (7, 9),
+            (8, 10),
+            (9, 10),
+            (9, 11),
+            (10, 12),
+            (11, 12),
+            (11, 13),
+            (12, 14),
+            (13, 14),
+            (13, 15),
+            (14, 16),
+            (15, 16),
+        ],
+    )
+}
+
+/// The 11-node, 14-edge Abilene (Internet2) backbone: Seattle, Sunnyvale,
+/// Los Angeles, Denver, Kansas City, Houston, Chicago, Indianapolis,
+/// Atlanta, Washington DC, New York — a small real topology handy for
+/// quick extension experiments.
+pub fn abilene() -> Graph {
+    // 0 SEA, 1 SNV, 2 LA, 3 DEN, 4 KSC, 5 HOU, 6 CHI, 7 IPLS, 8 ATL,
+    // 9 WDC, 10 NYC
+    from_edges(
+        "Abilene",
+        11,
+        &[
+            (0, 1),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 5),
+            (3, 4),
+            (4, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (6, 10),
+            (7, 8),
+            (8, 9),
+            (9, 10),
+        ],
+    )
+}
+
+/// How link capacities are assigned to a topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CapacityScheme {
+    /// Every link gets the same capacity (bits/s).
+    Uniform(f64),
+    /// Each *duplex pair* draws uniformly from this set; both directions of a
+    /// connection share the drawn value (as in the KDN datasets).
+    Choice(Vec<f64>),
+    /// Capacity proportional to `base * max(deg(src), deg(dst))`, rounding to
+    /// the nearest multiple of `base`. Models fatter links at hubs.
+    DegreeProportional {
+        /// Capacity unit per degree.
+        base: f64,
+    },
+}
+
+impl CapacityScheme {
+    /// The KDN dataset convention: capacities drawn from {10, 40} kbps.
+    pub fn kdn_default() -> Self {
+        CapacityScheme::Choice(vec![10_000.0, 40_000.0])
+    }
+}
+
+/// Assign capacities to every link of `g` under `scheme`.
+///
+/// For [`CapacityScheme::Choice`], the two directions of a duplex connection
+/// receive the same capacity (link `a→b` and `b→a` are assigned together;
+/// the pair is keyed on `(min, max)` node ids).
+pub fn assign_capacities<R: Rng>(g: &mut Graph, scheme: &CapacityScheme, rng: &mut R) {
+    match scheme {
+        CapacityScheme::Uniform(c) => {
+            let ids: Vec<_> = g.links().map(|(id, _)| id).collect();
+            for id in ids {
+                g.link_mut(id).expect("valid id").capacity_bps = *c;
+            }
+        }
+        CapacityScheme::Choice(set) => {
+            assert!(!set.is_empty(), "capacity choice set must be non-empty");
+            use std::collections::HashMap;
+            let mut per_pair: HashMap<(usize, usize), f64> = HashMap::new();
+            let ids: Vec<_> = g
+                .links()
+                .map(|(id, l)| (id, (l.src.0.min(l.dst.0), l.src.0.max(l.dst.0))))
+                .collect();
+            for (id, key) in ids {
+                let c = *per_pair
+                    .entry(key)
+                    .or_insert_with(|| set[rng.gen_range(0..set.len())]);
+                g.link_mut(id).expect("valid id").capacity_bps = c;
+            }
+        }
+        CapacityScheme::DegreeProportional { base } => {
+            let ids: Vec<_> = g
+                .links()
+                .map(|(id, l)| {
+                    let d = g.out_degree(l.src).max(g.out_degree(l.dst)) as f64;
+                    (id, base * d)
+                })
+                .collect();
+            for (id, c) in ids {
+                g.link_mut(id).expect("valid id").capacity_bps = c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter_hops, is_strongly_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nsfnet_shape() {
+        let g = nsfnet();
+        assert_eq!(g.n_nodes(), 14);
+        assert_eq!(g.n_links(), 42); // 21 duplex pairs
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn geant2_shape() {
+        let g = geant2();
+        assert_eq!(g.n_nodes(), 24);
+        assert_eq!(g.n_links(), 74); // 37 duplex pairs
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn gbn_shape() {
+        let g = gbn();
+        assert_eq!(g.n_nodes(), 17);
+        assert_eq!(g.n_links(), 52); // 26 duplex pairs
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn abilene_shape() {
+        let g = abilene();
+        assert_eq!(g.n_nodes(), 11);
+        assert_eq!(g.n_links(), 28); // 14 duplex pairs
+        assert!(is_strongly_connected(&g));
+        assert!(diameter_hops(&g).unwrap() <= 5);
+    }
+
+    #[test]
+    fn zoo_diameters_are_backbone_like() {
+        // Real backbones have small diameters; sanity guard against typos in
+        // the edge lists silently disconnecting or stretching the graphs.
+        assert!(diameter_hops(&nsfnet()).unwrap() <= 5);
+        assert!(diameter_hops(&geant2()).unwrap() <= 6);
+        assert!(diameter_hops(&gbn()).unwrap() <= 8);
+    }
+
+    #[test]
+    fn uniform_capacities() {
+        let mut g = nsfnet();
+        let mut rng = StdRng::seed_from_u64(1);
+        assign_capacities(&mut g, &CapacityScheme::Uniform(5e4), &mut rng);
+        assert!(g.links().all(|(_, l)| l.capacity_bps == 5e4));
+    }
+
+    #[test]
+    fn choice_capacities_are_symmetric_per_pair() {
+        let mut g = geant2();
+        let mut rng = StdRng::seed_from_u64(7);
+        assign_capacities(&mut g, &CapacityScheme::kdn_default(), &mut rng);
+        for (_, l) in g.links() {
+            assert!(l.capacity_bps == 10_000.0 || l.capacity_bps == 40_000.0);
+            let rev = g.link_between(l.dst, l.src).expect("duplex");
+            assert_eq!(g.link(rev).unwrap().capacity_bps, l.capacity_bps);
+        }
+        // With 37 pairs and seed 7 we expect both values to occur.
+        let caps: std::collections::HashSet<u64> =
+            g.links().map(|(_, l)| l.capacity_bps as u64).collect();
+        assert_eq!(caps.len(), 2);
+    }
+
+    #[test]
+    fn degree_proportional_capacities() {
+        let mut g = nsfnet();
+        let mut rng = StdRng::seed_from_u64(3);
+        assign_capacities(&mut g, &CapacityScheme::DegreeProportional { base: 1e4 }, &mut rng);
+        for (_, l) in g.links() {
+            let d = g.out_degree(l.src).max(g.out_degree(l.dst)) as f64;
+            assert_eq!(l.capacity_bps, 1e4 * d);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Traffic matrices and link-load analysis.
+//!
+//! A [`TrafficMatrix`] holds the average offered rate (bits/s) for every
+//! ordered node pair — the third RouteNet input next to topology and routing.
+//! Generators produce matrices "with different traffic intensity" (§2.1 of
+//! the paper) by scaling a random structure to a target maximum link
+//! utilization.
+
+use crate::graph::{Graph, LinkId, NodeId};
+use crate::routing::RoutingScheme;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Average traffic demand per ordered node pair, in bits/s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n_nodes: usize,
+    /// `demand[s * n + d]`, zero on the diagonal.
+    demands_bps: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// All-zero matrix for `n_nodes` nodes.
+    pub fn zeros(n_nodes: usize) -> Self {
+        TrafficMatrix {
+            n_nodes,
+            demands_bps: vec![0.0; n_nodes * n_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Demand for `(s, d)` in bits/s (0 when `s == d`).
+    pub fn demand(&self, s: NodeId, d: NodeId) -> f64 {
+        self.demands_bps[s.0 * self.n_nodes + d.0]
+    }
+
+    /// Set the demand for `(s, d)`. Panics on the diagonal or on a negative /
+    /// non-finite rate.
+    pub fn set_demand(&mut self, s: NodeId, d: NodeId, bps: f64) {
+        assert!(s != d, "diagonal demands are not allowed");
+        assert!(bps.is_finite() && bps >= 0.0, "demand must be finite and >= 0");
+        self.demands_bps[s.0 * self.n_nodes + d.0] = bps;
+    }
+
+    /// Iterate `(src, dst, demand)` over all off-diagonal entries in
+    /// canonical order.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        let n = self.n_nodes;
+        (0..n).flat_map(move |s| {
+            (0..n)
+                .filter(move |d| *d != s)
+                .map(move |d| (NodeId(s), NodeId(d), self.demands_bps[s * n + d]))
+        })
+    }
+
+    /// Sum of all demands, bits/s.
+    pub fn total_bps(&self) -> f64 {
+        self.demands_bps.iter().sum()
+    }
+
+    /// Multiply every demand by `f`.
+    pub fn scale(&mut self, f: f64) {
+        assert!(f.is_finite() && f >= 0.0);
+        for d in &mut self.demands_bps {
+            *d *= f;
+        }
+    }
+}
+
+/// Traffic-matrix structural models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Each pair draws uniformly from `[min_frac, 1.0] * unit`. The unit is
+    /// arbitrary — matrices are rescaled to the target intensity afterwards.
+    Uniform {
+        /// Lower bound of the per-pair draw, as a fraction of the unit.
+        min_frac: f64,
+    },
+    /// Gravity model: demand(s, d) ∝ mass(s) * mass(d), with masses drawn
+    /// uniformly from `(0, 1]`. Produces realistic heavy-hitter structure.
+    Gravity,
+    /// Bimodal "hotspot" model: a fraction `hot_frac` of pairs carry
+    /// `hot_mult` times the base rate. Stress-tests non-uniform loads.
+    Hotspot {
+        /// Fraction of pairs that are hotspots.
+        hot_frac: f64,
+        /// Rate multiplier applied to hotspot pairs.
+        hot_mult: f64,
+    },
+}
+
+/// Draw the *structure* of a traffic matrix under `model` (unnormalized).
+pub fn sample_structure<R: Rng>(n_nodes: usize, model: &TrafficModel, rng: &mut R) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::zeros(n_nodes);
+    match model {
+        TrafficModel::Uniform { min_frac } => {
+            assert!((0.0..=1.0).contains(min_frac));
+            for s in 0..n_nodes {
+                for d in 0..n_nodes {
+                    if s != d {
+                        let v = min_frac + (1.0 - min_frac) * rng.gen::<f64>();
+                        tm.set_demand(NodeId(s), NodeId(d), v);
+                    }
+                }
+            }
+        }
+        TrafficModel::Gravity => {
+            let mass: Vec<f64> = (0..n_nodes).map(|_| rng.gen::<f64>().max(1e-3)).collect();
+            for s in 0..n_nodes {
+                for d in 0..n_nodes {
+                    if s != d {
+                        tm.set_demand(NodeId(s), NodeId(d), mass[s] * mass[d]);
+                    }
+                }
+            }
+        }
+        TrafficModel::Hotspot { hot_frac, hot_mult } => {
+            assert!((0.0..=1.0).contains(hot_frac));
+            assert!(*hot_mult >= 1.0);
+            for s in 0..n_nodes {
+                for d in 0..n_nodes {
+                    if s != d {
+                        let base = 0.5 + 0.5 * rng.gen::<f64>();
+                        let v = if rng.gen::<f64>() < *hot_frac {
+                            base * hot_mult
+                        } else {
+                            base
+                        };
+                        tm.set_demand(NodeId(s), NodeId(d), v);
+                    }
+                }
+            }
+        }
+    }
+    tm
+}
+
+/// Per-link offered load (bits/s) under `tm` routed by `routing`.
+pub fn link_loads(g: &Graph, routing: &RoutingScheme, tm: &TrafficMatrix) -> Vec<f64> {
+    let mut loads = vec![0.0; g.n_links()];
+    for (s, d, demand) in tm.entries() {
+        if demand > 0.0 {
+            for &l in routing.path(s, d) {
+                loads[l.0] += demand;
+            }
+        }
+    }
+    loads
+}
+
+/// Per-link utilization `load / capacity` under `tm`.
+pub fn link_utilizations(g: &Graph, routing: &RoutingScheme, tm: &TrafficMatrix) -> Vec<f64> {
+    link_loads(g, routing, tm)
+        .into_iter()
+        .enumerate()
+        .map(|(i, load)| load / g.link(LinkId(i)).expect("dense ids").capacity_bps)
+        .collect()
+}
+
+/// Maximum link utilization under `tm`.
+pub fn max_utilization(g: &Graph, routing: &RoutingScheme, tm: &TrafficMatrix) -> f64 {
+    link_utilizations(g, routing, tm)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Rescale `tm` so the maximum link utilization equals `target` (0 < target).
+///
+/// This is the intensity knob of the dataset generator: the paper's datasets
+/// sweep "different traffic intensity" levels; we parameterize intensity as
+/// the bottleneck utilization, which maps monotonically to delay regime.
+///
+/// Returns the applied scale factor. Panics if the matrix routes no traffic.
+pub fn scale_to_max_utilization(
+    g: &Graph,
+    routing: &RoutingScheme,
+    tm: &mut TrafficMatrix,
+    target: f64,
+) -> f64 {
+    assert!(target > 0.0 && target.is_finite());
+    let cur = max_utilization(g, routing, tm);
+    assert!(cur > 0.0, "traffic matrix routes no traffic; cannot scale");
+    let f = target / cur;
+    tm.scale(f);
+    f
+}
+
+/// Generate a complete traffic matrix at a given intensity: draw a structure
+/// under `model` and rescale so the bottleneck link runs at `max_util`.
+pub fn sample_traffic_matrix<R: Rng>(
+    g: &Graph,
+    routing: &RoutingScheme,
+    model: &TrafficModel,
+    max_util: f64,
+    rng: &mut R,
+) -> TrafficMatrix {
+    let mut tm = sample_structure(g.n_nodes(), model, rng);
+    scale_to_max_utilization(g, routing, &mut tm, max_util);
+    tm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::shortest_path_routing;
+    use crate::topology::nsfnet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, RoutingScheme) {
+        let g = nsfnet();
+        let r = shortest_path_routing(&g).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn zeros_has_no_demand() {
+        let tm = TrafficMatrix::zeros(5);
+        assert_eq!(tm.total_bps(), 0.0);
+        assert_eq!(tm.entries().count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_set_panics() {
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set_demand(NodeId(1), NodeId(1), 5.0);
+    }
+
+    #[test]
+    fn uniform_structure_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tm = sample_structure(10, &TrafficModel::Uniform { min_frac: 0.2 }, &mut rng);
+        for (_, _, v) in tm.entries() {
+            assert!((0.2..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gravity_structure_is_rank_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tm = sample_structure(6, &TrafficModel::Gravity, &mut rng);
+        // gravity: d(s,a)*d(t,b) == d(s,b)*d(t,a) for distinct s,t,a,b
+        let d = |s: usize, t: usize| tm.demand(NodeId(s), NodeId(t));
+        let lhs = d(0, 2) * d(1, 3);
+        let rhs = d(0, 3) * d(1, 2);
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(rhs.abs()).max(1e-12));
+    }
+
+    #[test]
+    fn hotspot_creates_heavy_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tm = sample_structure(
+            12,
+            &TrafficModel::Hotspot { hot_frac: 0.1, hot_mult: 10.0 },
+            &mut rng,
+        );
+        let vals: Vec<f64> = tm.entries().map(|(_, _, v)| v).collect();
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(max > 3.0 * mean, "expected heavy hitters: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn link_loads_conserve_traffic() {
+        let (g, r) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let tm = sample_structure(g.n_nodes(), &TrafficModel::Uniform { min_frac: 0.1 }, &mut rng);
+        let loads = link_loads(&g, &r, &tm);
+        // Sum of link loads == sum over pairs of demand * hops.
+        let expected: f64 = tm
+            .entries()
+            .map(|(s, d, v)| v * r.hops(s, d) as f64)
+            .sum();
+        let got: f64 = loads.iter().sum();
+        assert!((got - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn scale_to_target_hits_target_exactly() {
+        let (g, r) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tm =
+            sample_structure(g.n_nodes(), &TrafficModel::Uniform { min_frac: 0.1 }, &mut rng);
+        scale_to_max_utilization(&g, &r, &mut tm, 0.7);
+        let mu = max_utilization(&g, &r, &tm);
+        assert!((mu - 0.7).abs() < 1e-12, "max util {mu}");
+    }
+
+    #[test]
+    fn sample_traffic_matrix_end_to_end() {
+        let (g, r) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let tm = sample_traffic_matrix(&g, &r, &TrafficModel::Gravity, 0.5, &mut rng);
+        assert!((max_utilization(&g, &r, &tm) - 0.5).abs() < 1e-12);
+        assert!(tm.total_bps() > 0.0);
+        // every utilization <= max
+        for u in link_utilizations(&g, &r, &tm) {
+            assert!(u <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let (g, r) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tm =
+            sample_structure(g.n_nodes(), &TrafficModel::Uniform { min_frac: 0.5 }, &mut rng);
+        let before = max_utilization(&g, &r, &tm);
+        tm.scale(2.0);
+        let after = max_utilization(&g, &r, &tm);
+        assert!((after - 2.0 * before).abs() < 1e-9 * after);
+    }
+}

@@ -1,0 +1,344 @@
+//! Neural-network layers: dense, MLP, and the GRU cell at RouteNet's core.
+
+use crate::params::{ParamId, ParamStore, Session};
+use crate::tape::Var;
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+fn apply(sess: &mut Session, act: Activation, x: Var) -> Var {
+    match act {
+        Activation::Linear => x,
+        Activation::Relu => sess.tape.relu(x),
+        Activation::Tanh => sess.tape.tanh(x),
+        Activation::Sigmoid => sess.tape.sigmoid(x),
+    }
+}
+
+/// Fully-connected layer `act(x W + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: ParamId,
+    b: ParamId,
+    act: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Create with Xavier-initialized weights registered in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), Tensor::xavier(in_dim, out_dim, rng));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Dense { w, b, act, in_dim, out_dim }
+    }
+
+    /// Forward pass for a `batch x in_dim` input.
+    pub fn forward(&self, sess: &mut Session, x: Var) -> Var {
+        debug_assert_eq!(sess.tape.value(x).cols(), self.in_dim, "Dense input width");
+        let w = sess.param(self.w);
+        let b = sess.param(self.b);
+        let xw = sess.tape.matmul(x, w);
+        let z = sess.tape.add_row(xw, b);
+        apply(sess, self.act, z)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Multi-layer perceptron: hidden layers with one activation, configurable
+/// output activation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build from layer widths `dims = [in, h1, ..., out]`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let mut layers = Vec::new();
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+            layers.push(Dense::new(
+                store,
+                &format!("{name}.{i}"),
+                dims[i],
+                dims[i + 1],
+                act,
+                rng,
+            ));
+        }
+        Mlp { layers }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, sess: &mut Session, mut x: Var) -> Var {
+        for l in &self.layers {
+            x = l.forward(sess, x);
+        }
+        x
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+/// Gated recurrent unit cell (Cho et al. 2014), the update function used for
+/// both path and link states in RouteNet.
+///
+/// ```text
+/// z = sigmoid(x Wz + h Uz + bz)        update gate
+/// r = sigmoid(x Wr + h Ur + br)        reset gate
+/// c = tanh(x Wh + (r ⊙ h) Uh + bh)     candidate
+/// h' = (1 - z) ⊙ h + z ⊙ c
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    in_dim: usize,
+    hid_dim: usize,
+}
+
+impl GruCell {
+    /// Create with Xavier-initialized weights registered in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hid_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = |store: &mut ParamStore, suffix: &str, r: usize, c: usize, rng: &mut R| {
+            store.add(format!("{name}.{suffix}"), Tensor::xavier(r, c, rng))
+        };
+        let wz = w(store, "wz", in_dim, hid_dim, rng);
+        let uz = w(store, "uz", hid_dim, hid_dim, rng);
+        let bz = store.add(format!("{name}.bz"), Tensor::zeros(1, hid_dim));
+        let wr = w(store, "wr", in_dim, hid_dim, rng);
+        let ur = w(store, "ur", hid_dim, hid_dim, rng);
+        let br = store.add(format!("{name}.br"), Tensor::zeros(1, hid_dim));
+        let wh = w(store, "wh", in_dim, hid_dim, rng);
+        let uh = w(store, "uh", hid_dim, hid_dim, rng);
+        let bh = store.add(format!("{name}.bh"), Tensor::zeros(1, hid_dim));
+        GruCell {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hid_dim,
+        }
+    }
+
+    /// One step for a batch: `x` is `B x in_dim`, `h` is `B x hid_dim`;
+    /// returns the new `B x hid_dim` hidden state.
+    pub fn step(&self, sess: &mut Session, x: Var, h: Var) -> Var {
+        debug_assert_eq!(sess.tape.value(x).cols(), self.in_dim, "GRU input width");
+        debug_assert_eq!(sess.tape.value(h).cols(), self.hid_dim, "GRU hidden width");
+        let (wz, uz, bz) = (sess.param(self.wz), sess.param(self.uz), sess.param(self.bz));
+        let (wr, ur, br) = (sess.param(self.wr), sess.param(self.ur), sess.param(self.br));
+        let (wh, uh, bh) = (sess.param(self.wh), sess.param(self.uh), sess.param(self.bh));
+
+        let t = &mut sess.tape;
+        let xwz = t.matmul(x, wz);
+        let huz = t.matmul(h, uz);
+        let zs = t.add(xwz, huz);
+        let zs = t.add_row(zs, bz);
+        let z = t.sigmoid(zs);
+
+        let xwr = t.matmul(x, wr);
+        let hur = t.matmul(h, ur);
+        let rs = t.add(xwr, hur);
+        let rs = t.add_row(rs, br);
+        let r = t.sigmoid(rs);
+
+        let rh = t.mul(r, h);
+        let xwh = t.matmul(x, wh);
+        let rhuh = t.matmul(rh, uh);
+        let cs = t.add(xwh, rhuh);
+        let cs = t.add_row(cs, bh);
+        let c = t.tanh(cs);
+
+        let zi = t.one_minus(z);
+        let keep = t.mul(zi, h);
+        let take = t.mul(z, c);
+        t.add(keep, take)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hid_dim(&self) -> usize {
+        self.hid_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_shapes_and_linearity() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dense::new(&mut store, "d", 3, 2, Activation::Linear, &mut rng);
+        assert_eq!((d.in_dim(), d.out_dim()), (3, 2));
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::zeros(4, 3));
+        let y = d.forward(&mut sess, x);
+        // Zero input + zero bias => zero output for linear layer.
+        assert_eq!(sess.tape.value(y).shape(), (4, 2));
+        assert!(sess.tape.value(y).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dense_relu_clamps() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dense::new(&mut store, "d", 2, 2, Activation::Relu, &mut rng);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::from_vec(1, 2, vec![5.0, -5.0]));
+        let y = d.forward(&mut sess, x);
+        assert!(sess.tape.value(y).data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn mlp_stacks_layers() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            &[4, 8, 8, 2],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng,
+        );
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        // 3 dense layers x (w + b)
+        assert_eq!(store.len(), 6);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::full(5, 4, 0.1));
+        let y = mlp.forward(&mut sess, x);
+        assert_eq!(sess.tape.value(y).shape(), (5, 2));
+        assert!(sess.tape.value(y).all_finite());
+    }
+
+    #[test]
+    fn gru_hidden_stays_bounded() {
+        // tanh candidate + convex gate combination keeps |h| <= 1 given
+        // |h0| <= 1.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let gru = GruCell::new(&mut store, "g", 3, 5, &mut rng);
+        assert_eq!((gru.in_dim(), gru.hid_dim()), (3, 5));
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::full(2, 3, 10.0)); // large inputs
+        let mut h = sess.input(Tensor::zeros(2, 5));
+        for _ in 0..10 {
+            h = gru.step(&mut sess, x, h);
+        }
+        assert!(sess.tape.value(h).max_abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn gru_zero_update_gate_preserves_state() {
+        // With update-gate weights forced to large negative bias, z ~ 0 and
+        // h' ~ h.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gru = GruCell::new(&mut store, "g", 2, 3, &mut rng);
+        let bz = store.by_name("g.bz").unwrap();
+        *store.get_mut(bz) = Tensor::full(1, 3, -50.0);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::full(1, 2, 0.3));
+        let h0t = Tensor::from_vec(1, 3, vec![0.5, -0.2, 0.9]);
+        let h0 = sess.input(h0t.clone());
+        let h1 = gru.step(&mut sess, x, h0);
+        for (a, b) in sess.tape.value(h1).data().iter().zip(h0t.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gru_gradients_flow_to_all_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let gru = GruCell::new(&mut store, "g", 2, 3, &mut rng);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Tensor::full(4, 2, 0.5));
+        let h0 = sess.input(Tensor::full(4, 3, 0.1));
+        let h1 = gru.step(&mut sess, x, h0);
+        let h2 = gru.step(&mut sess, x, h1); // reuse cell: grads must merge
+        let loss = sess.tape.mean_all(h2);
+        let grads = sess.tape.backward(loss);
+        let pg = sess.param_grads(&grads);
+        assert_eq!(pg.len(), 9, "all 9 GRU params should receive gradients");
+        for (id, g) in &pg {
+            assert!(g.norm() > 0.0, "param {} has zero grad", store.name(*id));
+            assert!(g.all_finite());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! First-order optimizers and gradient utilities.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Scale gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0);
+    let total: f64 = grads.iter().map(|(_, g)| g.norm().powi(2)).sum::<f64>().sqrt();
+    if total > max_norm {
+        let s = max_norm / total;
+        for (_, g) in grads.iter_mut() {
+            *g = g.map(|x| x * s);
+        }
+    }
+    total
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// New SGD optimizer for `store`.
+    pub fn new(store: &ParamStore, lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0 && (0.0..1.0).contains(&momentum));
+        Sgd {
+            lr,
+            momentum,
+            velocity: vec![None; store.len()],
+        }
+    }
+
+    /// Apply one update step.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        for (id, g) in grads {
+            let update = if self.momentum > 0.0 {
+                let v = self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+                *v = v.map(|x| x * self.momentum);
+                v.add_scaled(g, 1.0);
+                v.clone()
+            } else {
+                g.clone()
+            };
+            store.get_mut(*id).add_scaled(&update, -self.lr);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β1 = 0.9, β2 = 0.999).
+    pub fn new(store: &ParamStore, lr: f64) -> Self {
+        Self::with_betas(store, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit moment decays.
+    pub fn with_betas(store: &ParamStore, lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0);
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        assert!(eps > 0.0);
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: vec![None; store.len()],
+            v: vec![None; store.len()],
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update step.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in grads {
+            let m = self.m[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+            let v = self.v[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+            *m = m.zip(g, |mi, gi| self.beta1 * mi + (1.0 - self.beta1) * gi);
+            *v = v.zip(g, |vi, gi| self.beta2 * vi + (1.0 - self.beta2) * gi * gi);
+            let p = store.get_mut(*id);
+            for i in 0..p.len() {
+                let mhat = m.data()[i] / bc1;
+                let vhat = v.data()[i] / bc2;
+                p.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Session;
+
+    /// Minimize f(w) = sum((w - c)^2) and require convergence to c.
+    fn quadratic_loss_converges(mut stepper: impl FnMut(&mut ParamStore, &[(ParamId, Tensor)])) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 3, vec![5.0, -4.0, 2.0]));
+        let target = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        for _ in 0..500 {
+            let mut sess = Session::new(&store);
+            let vw = sess.param(w);
+            let loss = sess.tape.mse(vw, &target);
+            let grads = sess.tape.backward(loss);
+            let pg = sess.param_grads(&grads);
+            stepper(&mut store, &pg);
+        }
+        for (a, b) in store.get(w).data().iter().zip(target.data()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let store = ParamStore::new();
+        let mut opt = Sgd::new(&store, 0.5, 0.0);
+        opt.velocity = vec![None; 8];
+        quadratic_loss_converges(move |s, g| opt.step(s, g));
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let store = ParamStore::new();
+        let mut opt = Sgd::new(&store, 0.2, 0.9);
+        opt.velocity = vec![None; 8];
+        quadratic_loss_converges(move |s, g| opt.step(s, g));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let store = ParamStore::new();
+        let mut opt = Adam::new(&store, 0.1);
+        opt.m = vec![None; 8];
+        opt.v = vec![None; 8];
+        quadratic_loss_converges(move |s, g| opt.step(s, g));
+    }
+
+    #[test]
+    fn adam_counts_steps() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 1));
+        let mut opt = Adam::new(&store, 0.01);
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut store, &[(w, Tensor::full(1, 1, 1.0))]);
+        opt.step(&mut store, &[(w, Tensor::full(1, 1, 1.0))]);
+        assert_eq!(opt.steps(), 2);
+        // Parameter moved in the negative gradient direction.
+        assert!(store.get(w).get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = vec![(ParamId(0), Tensor::from_vec(1, 2, vec![0.3, 0.4]))];
+        let pre = clip_global_norm(&mut g, 10.0);
+        assert!((pre - 0.5).abs() < 1e-12);
+        assert_eq!(g[0].1.data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut g = vec![
+            (ParamId(0), Tensor::from_vec(1, 2, vec![30.0, 40.0])),
+            (ParamId(1), Tensor::from_vec(1, 1, vec![0.0])),
+        ];
+        let pre = clip_global_norm(&mut g, 5.0);
+        assert!((pre - 50.0).abs() < 1e-12);
+        let post: f64 = g.iter().map(|(_, t)| t.norm().powi(2)).sum::<f64>().sqrt();
+        assert!((post - 5.0).abs() < 1e-9);
+        // Direction preserved.
+        assert!((g[0].1.data()[0] / g[0].1.data()[1] - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,673 @@
+//! Reverse-mode automatic differentiation on a linear tape.
+//!
+//! A [`Tape`] records every operation eagerly (define-by-run); calling
+//! [`Tape::backward`] walks the tape in reverse accumulating gradients.
+//! The op set is exactly what RouteNet's message passing needs, including
+//! the two structural ops that encode the graph: [`Tape::gather_rows`]
+//! (read link states along each path) and [`Tape::scatter_add_rows`]
+//! (aggregate per-hop messages into per-link inboxes).
+//!
+//! Every op's gradient is validated against central finite differences in
+//! this crate's test suite.
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Leaf: input or parameter. No gradient propagation (gradients are
+    /// still *accumulated* into leaves so the optimizer can read them).
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `a + broadcast(b)` where `b` is `1 x cols`.
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `alpha * a + beta` elementwise.
+    Affine(Var, f64, f64),
+    /// Elementwise product with a constant tensor (no grad to the constant).
+    MulConst(Var, Tensor),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    ConcatCols(Var, Var),
+    /// `out[i, :] = a[idx[i], :]`.
+    GatherRows(Var, Vec<usize>),
+    /// `out[idx[i], :] += a[i, :]`, out has `out_rows` rows.
+    ScatterAddRows(Var, Vec<usize>),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Mean squared error against a constant target.
+    Mse(Var, Tensor),
+    /// Mean absolute error against a constant target.
+    Mae(Var, Tensor),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A linear autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Register a leaf (input or parameter).
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(Op::Leaf, t)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Elementwise sum of two same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Add a `1 x cols` row vector to every row of `a` (bias add).
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(br, 1, "add_row rhs must be a row vector");
+        assert_eq!(ac, bc, "add_row width mismatch");
+        let av = self.value(a);
+        let bv = self.value(b);
+        let v = Tensor::from_fn(ar, ac, |r, c| av.get(r, c) + bv.get(0, c));
+        self.push(Op::AddRow(a, b), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// `alpha * a + beta` elementwise.
+    pub fn affine(&mut self, a: Var, alpha: f64, beta: f64) -> Var {
+        let v = self.value(a).map(|x| alpha * x + beta);
+        self.push(Op::Affine(a, alpha, beta), v)
+    }
+
+    /// `1 - a` elementwise (GRU gate complement).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        self.affine(a, -1.0, 1.0)
+    }
+
+    /// Elementwise product with a constant (no gradient flows into `c`).
+    pub fn mul_const(&mut self, a: Var, c: &Tensor) -> Var {
+        let v = self.value(a).zip(c, |x, y| x * y);
+        self.push(Op::MulConst(a, c.clone()), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+        let (r, ac, bc) = (av.rows(), av.cols(), bv.cols());
+        let v = Tensor::from_fn(r, ac + bc, |i, j| {
+            if j < ac {
+                av.get(i, j)
+            } else {
+                bv.get(i, j - ac)
+            }
+        });
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    /// Row gather: `out[i, :] = a[idx[i], :]`. Indices may repeat.
+    pub fn gather_rows(&mut self, a: Var, idx: Vec<usize>) -> Var {
+        let av = self.value(a);
+        let cols = av.cols();
+        for &i in &idx {
+            assert!(i < av.rows(), "gather index {i} out of {} rows", av.rows());
+        }
+        let mut v = Tensor::zeros(idx.len(), cols);
+        for (r, &i) in idx.iter().enumerate() {
+            v.copy_row_from(r, av, i);
+        }
+        self.push(Op::GatherRows(a, idx), v)
+    }
+
+    /// Row scatter-add: `out[idx[i], :] += a[i, :]` into a fresh
+    /// `out_rows x cols` zero tensor. The message-aggregation primitive.
+    pub fn scatter_add_rows(&mut self, a: Var, idx: Vec<usize>, out_rows: usize) -> Var {
+        let av = self.value(a);
+        assert_eq!(idx.len(), av.rows(), "one index per input row required");
+        let cols = av.cols();
+        for &i in &idx {
+            assert!(i < out_rows, "scatter index {i} out of {out_rows} rows");
+        }
+        let mut v = Tensor::zeros(out_rows, cols);
+        for (r, &i) in idx.iter().enumerate() {
+            for c in 0..cols {
+                v.set(i, c, v.get(i, c) + av.get(r, c));
+            }
+        }
+        self.push(Op::ScatterAddRows(a, idx), v)
+    }
+
+    /// Sum of all elements (`1 x 1`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.value(a).sum();
+        self.push(Op::SumAll(a), Tensor::from_vec(1, 1, vec![s]))
+    }
+
+    /// Mean of all elements (`1 x 1`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let m = v.sum() / v.len() as f64;
+        self.push(Op::MeanAll(a), Tensor::from_vec(1, 1, vec![m]))
+    }
+
+    /// Mean squared error between `pred` and a constant `target` (`1 x 1`).
+    pub fn mse(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
+        let n = p.len() as f64;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n;
+        self.push(Op::Mse(pred, target.clone()), Tensor::from_vec(1, 1, vec![loss]))
+    }
+
+    /// Mean absolute error between `pred` and a constant `target` (`1 x 1`).
+    pub fn mae(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mae shape mismatch");
+        let n = p.len() as f64;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum::<f64>()
+            / n;
+        self.push(Op::Mae(pred, target.clone()), Tensor::from_vec(1, 1, vec![loss]))
+    }
+
+    /// Reverse pass from `loss` (must be `1 x 1`). Returns one gradient slot
+    /// per node; leaves hold the accumulated parameter gradients.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            self.accumulate(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let add_to = |grads: &mut [Option<Tensor>], v: Var, delta: Tensor| {
+            match &mut grads[v.0] {
+                Some(existing) => existing.add_scaled(&delta, 1.0),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+        let node = &self.nodes[i];
+        match &node.op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let av = self.value(*a);
+                let bv = self.value(*b);
+                add_to(grads, *a, g.matmul(&bv.transpose()));
+                add_to(grads, *b, av.transpose().matmul(g));
+            }
+            Op::Add(a, b) => {
+                add_to(grads, *a, g.clone());
+                add_to(grads, *b, g.clone());
+            }
+            Op::AddRow(a, b) => {
+                add_to(grads, *a, g.clone());
+                // column sums
+                let mut gb = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        gb.set(0, c, gb.get(0, c) + g.get(r, c));
+                    }
+                }
+                add_to(grads, *b, gb);
+            }
+            Op::Sub(a, b) => {
+                add_to(grads, *a, g.clone());
+                add_to(grads, *b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let av = self.value(*a).clone();
+                let bv = self.value(*b).clone();
+                add_to(grads, *a, g.zip(&bv, |x, y| x * y));
+                add_to(grads, *b, g.zip(&av, |x, y| x * y));
+            }
+            Op::Affine(a, alpha, _beta) => {
+                add_to(grads, *a, g.map(|x| alpha * x));
+            }
+            Op::MulConst(a, c) => {
+                add_to(grads, *a, g.zip(c, |x, y| x * y));
+            }
+            Op::Sigmoid(a) => {
+                let y = &node.value;
+                add_to(grads, *a, g.zip(y, |gx, yx| gx * yx * (1.0 - yx)));
+            }
+            Op::Tanh(a) => {
+                let y = &node.value;
+                add_to(grads, *a, g.zip(y, |gx, yx| gx * (1.0 - yx * yx)));
+            }
+            Op::Relu(a) => {
+                let x = self.value(*a).clone();
+                add_to(grads, *a, g.zip(&x, |gx, xv| if xv > 0.0 { gx } else { 0.0 }));
+            }
+            Op::ConcatCols(a, b) => {
+                let ac = self.value(*a).cols();
+                let bc = self.value(*b).cols();
+                let ga = Tensor::from_fn(g.rows(), ac, |r, c| g.get(r, c));
+                let gb = Tensor::from_fn(g.rows(), bc, |r, c| g.get(r, ac + c));
+                add_to(grads, *a, ga);
+                add_to(grads, *b, gb);
+            }
+            Op::GatherRows(a, idx) => {
+                let rows = self.value(*a).rows();
+                let mut ga = Tensor::zeros(rows, g.cols());
+                for (r, &i) in idx.iter().enumerate() {
+                    for c in 0..g.cols() {
+                        ga.set(i, c, ga.get(i, c) + g.get(r, c));
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::ScatterAddRows(a, idx) => {
+                let mut ga = Tensor::zeros(idx.len(), g.cols());
+                for (r, &i) in idx.iter().enumerate() {
+                    ga.copy_row_from(r, g, i);
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::SumAll(a) => {
+                let s = g.get(0, 0);
+                let (r, c) = self.value(*a).shape();
+                add_to(grads, *a, Tensor::full(r, c, s));
+            }
+            Op::MeanAll(a) => {
+                let av = self.value(*a);
+                let s = g.get(0, 0) / av.len() as f64;
+                let (r, c) = av.shape();
+                add_to(grads, *a, Tensor::full(r, c, s));
+            }
+            Op::Mse(p, target) => {
+                let pv = self.value(*p);
+                let n = pv.len() as f64;
+                let s = g.get(0, 0);
+                let gp = pv.zip(target, |a, b| 2.0 * (a - b) * s / n);
+                add_to(grads, *p, gp);
+            }
+            Op::Mae(p, target) => {
+                let pv = self.value(*p);
+                let n = pv.len() as f64;
+                let s = g.get(0, 0);
+                let gp = pv.zip(target, |a, b| (a - b).signum() * s / n);
+                add_to(grads, *p, gp);
+            }
+        }
+    }
+}
+
+/// Result of a backward pass.
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. node `v`, if it received any.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central finite-difference check of `d loss / d leaf` for every element
+    /// of every listed leaf.
+    fn grad_check(
+        build: impl Fn(&mut Tape, &[Tensor]) -> Var,
+        leaves: &[Tensor],
+        tol: f64,
+    ) {
+        // Analytic gradients.
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = leaves.iter().map(|t| tape.leaf(t.clone())).collect();
+        let loss = build(&mut tape, leaves);
+        let grads = tape.backward(loss);
+        let eps = 1e-6;
+        for (li, leaf) in leaves.iter().enumerate() {
+            let analytic = grads
+                .get(vars[li])
+                .unwrap_or_else(|| panic!("leaf {li} got no gradient"))
+                .clone();
+            for e in 0..leaf.len() {
+                let mut plus = leaves.to_vec();
+                plus[li].data_mut()[e] += eps;
+                let mut t1 = Tape::new();
+                for t in &plus {
+                    t1.leaf(t.clone());
+                }
+                let l1 = build(&mut t1, &plus);
+                let mut minus = leaves.to_vec();
+                minus[li].data_mut()[e] -= eps;
+                let mut t2 = Tape::new();
+                for t in &minus {
+                    t2.leaf(t.clone());
+                }
+                let l2 = build(&mut t2, &minus);
+                let numeric =
+                    (t1.value(l1).get(0, 0) - t2.value(l2).get(0, 0)) / (2.0 * eps);
+                let a = analytic.data()[e];
+                assert!(
+                    (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "leaf {li} elem {e}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn rand_t(r: usize, c: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::xavier(r, c, &mut rng)
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let a = rand_t(3, 4, 1);
+        let b = rand_t(4, 2, 2);
+        grad_check(
+            |tape, _| {
+                let (va, vb) = (Var(0), Var(1));
+                let c = tape.matmul(va, vb);
+                tape.sum_all(c)
+            },
+            &[a, b],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_elementwise_ops() {
+        let a = rand_t(2, 3, 3);
+        let b = rand_t(2, 3, 4);
+        grad_check(
+            |tape, _| {
+                let (va, vb) = (Var(0), Var(1));
+                let s = tape.add(va, vb);
+                let d = tape.sub(s, vb);
+                let m = tape.mul(d, va);
+                let f = tape.affine(m, 0.5, -0.1);
+                tape.mean_all(f)
+            },
+            &[a, b],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        let a = rand_t(2, 4, 5);
+        for act in 0..3 {
+            grad_check(
+                |tape, _| {
+                    let va = Var(0);
+                    let y = match act {
+                        0 => tape.sigmoid(va),
+                        1 => tape.tanh(va),
+                        _ => tape.relu(va),
+                    };
+                    tape.sum_all(y)
+                },
+                &[a.clone()],
+                1e-5,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_add_row_broadcast() {
+        let a = rand_t(3, 4, 6);
+        let b = rand_t(1, 4, 7);
+        grad_check(
+            |tape, _| {
+                let (va, vb) = (Var(0), Var(1));
+                let y = tape.add_row(va, vb);
+                let z = tape.tanh(y);
+                tape.mean_all(z)
+            },
+            &[a, b],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_concat() {
+        let a = rand_t(2, 3, 8);
+        let b = rand_t(2, 2, 9);
+        grad_check(
+            |tape, _| {
+                let (va, vb) = (Var(0), Var(1));
+                let y = tape.concat_cols(va, vb);
+                let z = tape.sigmoid(y);
+                tape.sum_all(z)
+            },
+            &[a, b],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        let a = rand_t(4, 3, 10);
+        grad_check(
+            |tape, _| {
+                let va = Var(0);
+                let gathered = tape.gather_rows(va, vec![0, 2, 2, 3, 1]);
+                let act = tape.tanh(gathered);
+                let scattered = tape.scatter_add_rows(act, vec![1, 0, 1, 2, 2], 3);
+                tape.sum_all(scattered)
+            },
+            &[a],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_losses() {
+        let p = rand_t(3, 2, 11);
+        let target = rand_t(3, 2, 12);
+        let t2 = target.clone();
+        grad_check(
+            move |tape, _| {
+                let vp = Var(0);
+                tape.mse(vp, &t2)
+            },
+            &[p.clone()],
+            1e-6,
+        );
+        let t3 = target.clone();
+        grad_check(
+            move |tape, _| {
+                let vp = Var(0);
+                tape.mae(vp, &t3)
+            },
+            &[p],
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_mul_const_and_one_minus() {
+        let a = rand_t(2, 3, 13);
+        let mask = Tensor::from_fn(2, 3, |r, c| if (r + c) % 2 == 0 { 1.0 } else { 0.3 });
+        grad_check(
+            move |tape, _| {
+                let va = Var(0);
+                let m = tape.mul_const(va, &mask);
+                let o = tape.one_minus(m);
+                tape.mean_all(o)
+            },
+            &[a],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_gru_like_composite() {
+        // A full GRU-style cell wired by hand: the most representative
+        // composite for RouteNet.
+        let x = rand_t(5, 3, 20);
+        let h = rand_t(5, 4, 21);
+        let wz = rand_t(3, 4, 22);
+        let uz = rand_t(4, 4, 23);
+        let bz = rand_t(1, 4, 24);
+        let wh = rand_t(3, 4, 25);
+        let uh = rand_t(4, 4, 26);
+        grad_check(
+            |tape, _| {
+                let (x, h, wz, uz, bz, wh, uh) =
+                    (Var(0), Var(1), Var(2), Var(3), Var(4), Var(5), Var(6));
+                let xw = tape.matmul(x, wz);
+                let hu = tape.matmul(h, uz);
+                let s = tape.add(xw, hu);
+                let s = tape.add_row(s, bz);
+                let z = tape.sigmoid(s);
+                let xwh = tape.matmul(x, wh);
+                let rh = tape.mul(z, h); // stand-in for reset gate
+                let rhu = tape.matmul(rh, uh);
+                let cand_in = tape.add(xwh, rhu);
+                let cand = tape.tanh(cand_in);
+                let zi = tape.one_minus(z);
+                let keep = tape.mul(zi, h);
+                let take = tape.mul(z, cand);
+                let hnew = tape.add(keep, take);
+                tape.mean_all(hnew)
+            },
+            &[x, h, wz, uz, bz, wh, uh],
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn values_are_correct_for_simple_graph() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        let s = tape.add(a, b);
+        assert_eq!(tape.value(s).data(), &[4.0, 6.0]);
+        let m = tape.mul(s, s);
+        assert_eq!(tape.value(m).data(), &[16.0, 36.0]);
+        let l = tape.sum_all(m);
+        assert_eq!(tape.value(l).get(0, 0), 52.0);
+        let grads = tape.backward(l);
+        // dL/da = 2*s = [8, 12]
+        assert_eq!(grads.get(a).unwrap().data(), &[8.0, 12.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[8.0, 12.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_gradients() {
+        // loss = sum(a*a + a): grad = 2a + 1
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]));
+        let sq = tape.mul(a, a);
+        let s = tape.add(sq, a);
+        let l = tape.sum_all(s);
+        let grads = tape.backward(l);
+        assert_eq!(grads.get(a).unwrap().data(), &[3.0, -3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(2, 2));
+        tape.backward(a);
+    }
+
+    #[test]
+    fn unused_nodes_get_no_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 1, vec![2.0]));
+        let unused = tape.leaf(Tensor::from_vec(1, 1, vec![5.0]));
+        let l = tape.sum_all(a);
+        let grads = tape.backward(l);
+        assert!(grads.get(unused).is_none());
+        assert!(grads.get(a).is_some());
+    }
+}

@@ -1,0 +1,262 @@
+//! Property tests: the discrete-event simulator must converge to M/M/1
+//! closed forms wherever those are exact, and behave monotonically where
+//! theory says so.
+
+use proptest::prelude::*;
+use routenet_netgraph::routing::shortest_path_routing;
+use routenet_netgraph::{Graph, NodeId, RoutingScheme, TrafficMatrix};
+use routenet_simnet::queueing::{Mg1Link, Mm1Link};
+use routenet_simnet::sim::{simulate, ArrivalProcess, SimConfig, SizeDistribution};
+
+fn one_link(cap_bps: f64) -> (Graph, RoutingScheme) {
+    let mut g = Graph::new("1link", 2);
+    g.add_duplex(NodeId(0), NodeId(1), cap_bps, 0.0).unwrap();
+    let r = shortest_path_routing(&g).unwrap();
+    (g, r)
+}
+
+fn tm1(bps: f64) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::zeros(2);
+    tm.set_demand(NodeId(0), NodeId(1), bps);
+    tm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Single-link Poisson/exponential simulation matches M/M/1 mean sojourn
+    /// within 12% for moderate loads.
+    #[test]
+    fn single_link_matches_mm1(rho in 0.2f64..0.7, seed in 0u64..100) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let tm = tm1(rho * cap);
+        let cfg = SimConfig {
+            duration_s: 3_000.0,
+            warmup_s: 300.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(1)).unwrap();
+        let theory = Mm1Link::new(rho * 10.0, 10.0);
+        let rel = (f.mean_delay_s - theory.mean_sojourn_s).abs() / theory.mean_sojourn_s;
+        prop_assert!(rel < 0.12, "rho {rho}: sim {} vs theory {} (rel {rel})",
+            f.mean_delay_s, theory.mean_sojourn_s);
+        // Variance converges more slowly; allow 30%.
+        let relv = (f.jitter_s2 - theory.var_sojourn_s2).abs() / theory.var_sojourn_s2;
+        prop_assert!(relv < 0.30, "rho {rho}: var {} vs {} (rel {relv})",
+            f.jitter_s2, theory.var_sojourn_s2);
+    }
+
+    /// D/D/1 below capacity: every packet sees exactly the service time.
+    #[test]
+    fn dd1_is_exact(rate_frac in 0.05f64..0.9, cap in 5_000.0f64..50_000.0) {
+        let (g, r) = one_link(cap);
+        let tm = tm1(rate_frac * cap);
+        let cfg = SimConfig {
+            duration_s: 100.0,
+            warmup_s: 10.0,
+            size_dist: SizeDistribution::Deterministic,
+            arrivals: ArrivalProcess::Deterministic,
+            seed: 1,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(1)).unwrap();
+        let service = 1_000.0 / cap;
+        prop_assert!(f.delivered > 0);
+        prop_assert!((f.mean_delay_s - service).abs() < 1e-9,
+            "mean {} vs service {service}", f.mean_delay_s);
+        prop_assert!(f.jitter_s2 < 1e-18);
+    }
+
+    /// Single-link Poisson arrivals with deterministic sizes match the
+    /// M/D/1 (Pollaczek–Khinchine) sojourn mean — and the M/M/1 formula
+    /// overestimates it, which is the bias the RouteNet datasets exploit.
+    #[test]
+    fn single_link_matches_md1(rho in 0.3f64..0.8, seed in 0u64..100) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let tm = tm1(rho * cap);
+        let cfg = SimConfig {
+            duration_s: 3_000.0,
+            warmup_s: 300.0,
+            size_dist: SizeDistribution::Deterministic,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(1)).unwrap();
+        let md1 = Mg1Link::new(rho * 10.0, 10.0, 0.0);
+        let rel = (f.mean_delay_s - md1.mean_sojourn_s).abs() / md1.mean_sojourn_s;
+        prop_assert!(rel < 0.10, "rho {rho}: sim {} vs M/D/1 {} (rel {rel})",
+            f.mean_delay_s, md1.mean_sojourn_s);
+        // The M/M/1 formula must overestimate the deterministic-size queue.
+        let mm1 = Mm1Link::new(rho * 10.0, 10.0);
+        prop_assert!(mm1.mean_sojourn_s > f.mean_delay_s,
+            "M/M/1 {} did not overestimate sim {}", mm1.mean_sojourn_s, f.mean_delay_s);
+        // Variance from the gamma-matched Takács formula: looser tolerance.
+        let relv = (f.jitter_s2 - md1.var_sojourn_s2).abs() / md1.var_sojourn_s2;
+        prop_assert!(relv < 0.35, "rho {rho}: var {} vs {} (rel {relv})",
+            f.jitter_s2, md1.var_sojourn_s2);
+    }
+
+    /// Mean delay is monotone in offered load (same seed, increasing rho).
+    #[test]
+    fn delay_monotone_in_load(seed in 0u64..50) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let mut prev = 0.0;
+        for rho in [0.1, 0.4, 0.8] {
+            let tm = tm1(rho * cap);
+            let cfg = SimConfig {
+                duration_s: 2_000.0,
+                warmup_s: 200.0,
+                seed,
+                ..SimConfig::default()
+            };
+            let res = simulate(&g, &r, &tm, &cfg).unwrap();
+            let d = res.flow(NodeId(0), NodeId(1)).unwrap().mean_delay_s;
+            prop_assert!(d > prev, "rho {rho}: delay {d} not > {prev}");
+            prev = d;
+        }
+    }
+
+    /// Time-average occupancy matches the M/M/1 closed form L = rho/(1-rho),
+    /// and Little's law (L = lambda * W) holds by measurement.
+    #[test]
+    fn occupancy_matches_mm1(rho in 0.2f64..0.7, seed in 0u64..50) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let tm = tm1(rho * cap);
+        let cfg = SimConfig {
+            duration_s: 4_000.0,
+            warmup_s: 400.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let fwd = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        let occ = res.link_mean_occupancy[fwd.0];
+        let theory = Mm1Link::new(rho * 10.0, 10.0).mean_in_system();
+        let rel = (occ - theory).abs() / theory;
+        prop_assert!(rel < 0.15, "rho {rho}: L {occ} vs theory {theory}");
+        // Little's law, measured quantities only.
+        let lambda = rho * 10.0;
+        let w = res.link_mean_sojourn_s[fwd.0];
+        prop_assert!((occ - lambda * w).abs() < 0.1 * occ.max(0.05),
+            "Little's law: L {occ} vs lambda*W {}", lambda * w);
+        // Idle reverse direction has no occupancy.
+        let rev = g.link_between(NodeId(1), NodeId(0)).unwrap();
+        prop_assert_eq!(res.link_mean_occupancy[rev.0], 0.0);
+    }
+
+    /// Shrinking the buffer can only increase the drop count.
+    #[test]
+    fn drops_monotone_in_buffer(seed in 0u64..50) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let tm = tm1(1.2 * cap); // overloaded
+        let mut prev_drops = u64::MAX;
+        for buf in [2usize, 8, 32] {
+            let cfg = SimConfig {
+                duration_s: 400.0,
+                warmup_s: 40.0,
+                buffer_pkts: Some(buf),
+                seed,
+                ..SimConfig::default()
+            };
+            let res = simulate(&g, &r, &tm, &cfg).unwrap();
+            let drops = res.flow(NodeId(0), NodeId(1)).unwrap().dropped;
+            prop_assert!(drops <= prev_drops,
+                "buffer {buf}: drops {drops} > smaller-buffer drops {prev_drops}");
+            prev_drops = drops;
+        }
+        prop_assert!(prev_drops < u64::MAX);
+    }
+
+    /// M/M/1/K drop probability matches the closed form within tolerance.
+    #[test]
+    fn mm1k_drop_probability(seed in 0u64..30) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let rho: f64 = 0.8;
+        let k = 4usize; // system size incl. in service
+        let tm = tm1(rho * cap);
+        let cfg = SimConfig {
+            duration_s: 5_000.0,
+            warmup_s: 500.0,
+            buffer_pkts: Some(k),
+            seed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(1)).unwrap();
+        // P_block = (1-rho) rho^K / (1 - rho^(K+1))
+        let pb = (1.0 - rho) * rho.powi(k as i32) / (1.0 - rho.powi(k as i32 + 1));
+        let p = f.drop_prob();
+        prop_assert!((p - pb).abs() < 0.03, "sim {p} vs theory {pb}");
+    }
+}
+
+/// Two-link tandem: delay is close to (but, due to service-time correlation
+/// across hops, not exactly) the Kleinrock independence sum. This captures
+/// precisely the gap between the analytic baseline and the simulator that
+/// RouteNet learns to close.
+#[test]
+fn tandem_close_to_but_above_independence_sum() {
+    let mut g = Graph::new("tandem", 3);
+    g.add_duplex(NodeId(0), NodeId(1), 10_000.0, 0.0).unwrap();
+    g.add_duplex(NodeId(1), NodeId(2), 10_000.0, 0.0).unwrap();
+    let r = shortest_path_routing(&g).unwrap();
+    let mut tm = TrafficMatrix::zeros(3);
+    tm.set_demand(NodeId(0), NodeId(2), 5_000.0);
+    let cfg = SimConfig {
+        duration_s: 6_000.0,
+        warmup_s: 600.0,
+        seed: 5,
+        ..SimConfig::default()
+    };
+    let res = simulate(&g, &r, &tm, &cfg).unwrap();
+    let f = res.flow(NodeId(0), NodeId(2)).unwrap();
+    // Kleinrock: 2 * 1/(10-5) = 0.4 s. The real tandem sits near it but the
+    // second queue sees smoother arrivals + correlated sizes.
+    assert!(
+        (f.mean_delay_s - 0.4).abs() / 0.4 < 0.25,
+        "tandem mean {} too far from 0.4",
+        f.mean_delay_s
+    );
+}
+
+/// The measurement window must exclude warm-up transients: starting the
+/// window late never *increases* the measured mean on an initially-empty
+/// system (cold start biases delay low).
+#[test]
+fn warmup_removes_cold_start_bias() {
+    let (g, r) = one_link(10_000.0);
+    let tm = tm1(8_000.0); // high load: long transient
+    let no_warm = SimConfig {
+        duration_s: 50.0,
+        warmup_s: 0.0,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    let warm = SimConfig {
+        duration_s: 50.0,
+        warmup_s: 25.0,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    let a = simulate(&g, &r, &tm, &no_warm).unwrap();
+    let b = simulate(&g, &r, &tm, &warm).unwrap();
+    let fa = a.flow(NodeId(0), NodeId(1)).unwrap();
+    let fb = b.flow(NodeId(0), NodeId(1)).unwrap();
+    assert!(fa.delivered > fb.delivered);
+    assert!(
+        fb.mean_delay_s >= fa.mean_delay_s * 0.8,
+        "warm {} vs cold {}",
+        fb.mean_delay_s,
+        fa.mean_delay_s
+    );
+}

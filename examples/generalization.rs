@@ -1,0 +1,82 @@
+//! The paper's headline demo: train on {NSFNET-14, Synth-50}, then predict
+//! on the **unseen** 24-node Geant2 topology — and compare against the
+//! analytic M/M/1 baseline.
+//!
+//! ```text
+//! cargo run --release --example generalization [-- <scale> <epochs>]
+//! ```
+//!
+//! A GNN assembles its architecture from the input graph at runtime, so one
+//! trained model transfers across topologies of different sizes; this
+//! example measures how much accuracy survives the transfer.
+
+use routenet_core::prelude::*;
+use routenet_dataset::split::{generate_paper_datasets, ProtocolConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = argv.first().and_then(|v| v.parse().ok()).unwrap_or(0.4);
+    let epochs: usize = argv.get(1).and_then(|v| v.parse().ok()).unwrap_or(20);
+
+    let base = ProtocolConfig::default();
+    let mul = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+    let protocol = ProtocolConfig {
+        train_per_topology: mul(base.train_per_topology),
+        val_per_topology: mul(base.val_per_topology),
+        eval_per_topology: mul(base.eval_per_topology),
+        eval_geant2: mul(base.eval_geant2),
+        ..base
+    };
+
+    println!(
+        "generating paper-protocol datasets (train: {}x NSFNET + {}x Synth-50)...",
+        protocol.train_per_topology, protocol.train_per_topology
+    );
+    let data = generate_paper_datasets(&protocol);
+
+    let mut model = RouteNet::new(RouteNetConfig::default());
+    println!("training for {epochs} epochs on mixed topologies...");
+    train(
+        &mut model,
+        &data.train,
+        &data.val,
+        &TrainConfig {
+            epochs,
+            verbose: true,
+            ..TrainConfig::default()
+        },
+    );
+
+    let mm1 = Mm1Baseline::default();
+    println!("\n=== generalization to topologies ===");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>8}",
+        "eval set", "paths", "RouteNet", "M/M/1", "winner"
+    );
+    for (name, set) in [
+        ("NSFNET (seen)", &data.eval_nsfnet),
+        ("Synth-50 (seen)", &data.eval_synth),
+        ("Geant2 (UNSEEN)", &data.eval_geant2),
+    ] {
+        let rn = collect_predictions(&model, set).delay_summary();
+        let qa = collect_predictions(&mm1, set).delay_summary();
+        println!(
+            "{:<18} {:>10} {:>10.1}% {:>10.1}% {:>8}",
+            name,
+            rn.n,
+            rn.median_re * 100.0,
+            qa.median_re * 100.0,
+            if rn.median_re < qa.median_re {
+                "RouteNet"
+            } else {
+                "M/M/1"
+            }
+        );
+    }
+    println!("\n(median relative delay error; lower is better)");
+    println!(
+        "The key observation: RouteNet's error on the unseen Geant2 stays close\n\
+         to its error on the training topologies — the GNN generalizes across\n\
+         graph sizes, which fixed-input neural models cannot do at all."
+    );
+}

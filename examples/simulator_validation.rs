@@ -1,0 +1,121 @@
+//! Validate the packet-level simulator against closed-form queueing theory —
+//! the evidence that the ground-truth labels RouteNet trains on are sound.
+//!
+//! ```text
+//! cargo run --release --example simulator_validation
+//! ```
+//!
+//! Sweeps a single link's utilization and compares simulated mean delay and
+//! jitter against the exact M/M/1 and M/D/1 formulas, then shows the tandem
+//! (multi-hop) effect that *no* per-link analytic model captures — the gap
+//! RouteNet closes from data.
+
+use routenet_netgraph::routing::shortest_path_routing;
+use routenet_netgraph::{Graph, NodeId, TrafficMatrix};
+use routenet_simnet::queueing::{Mg1Link, Mm1Link};
+use routenet_simnet::sim::{simulate, SimConfig, SizeDistribution};
+
+fn one_link() -> (Graph, routenet_netgraph::RoutingScheme) {
+    let mut g = Graph::new("one-link", 2);
+    g.add_duplex(NodeId(0), NodeId(1), 10_000.0, 0.0).unwrap();
+    let r = shortest_path_routing(&g).unwrap();
+    (g, r)
+}
+
+fn main() {
+    let (g, r) = one_link();
+    println!("=== single M/M/1 link: simulation vs closed form ===");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8} {:>14} {:>14}",
+        "rho", "sim mean (s)", "theory (s)", "err", "sim var (s2)", "theory (s2)"
+    );
+    for rho in [0.2, 0.4, 0.6, 0.8] {
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set_demand(NodeId(0), NodeId(1), rho * 10_000.0);
+        let cfg = SimConfig {
+            duration_s: 3_000.0,
+            warmup_s: 300.0,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(1)).unwrap();
+        let th = Mm1Link::new(rho * 10.0, 10.0);
+        println!(
+            "{:>6.1} {:>14.4} {:>14.4} {:>7.1}% {:>14.5} {:>14.5}",
+            rho,
+            f.mean_delay_s,
+            th.mean_sojourn_s,
+            (f.mean_delay_s - th.mean_sojourn_s).abs() / th.mean_sojourn_s * 100.0,
+            f.jitter_s2,
+            th.var_sojourn_s2
+        );
+    }
+
+    println!("\n=== deterministic packet sizes: M/D/1 vs the (wrong) M/M/1 formula ===");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>22}",
+        "rho", "sim mean (s)", "M/D/1 (s)", "M/M/1 (s)", "M/M/1 overestimates by"
+    );
+    for rho in [0.4, 0.6, 0.8] {
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set_demand(NodeId(0), NodeId(1), rho * 10_000.0);
+        let cfg = SimConfig {
+            duration_s: 3_000.0,
+            warmup_s: 300.0,
+            size_dist: SizeDistribution::Deterministic,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(1)).unwrap();
+        let md1 = Mg1Link::new(rho * 10.0, 10.0, 0.0);
+        let mm1 = Mm1Link::new(rho * 10.0, 10.0);
+        println!(
+            "{:>6.1} {:>14.4} {:>12.4} {:>12.4} {:>21.1}%",
+            rho,
+            f.mean_delay_s,
+            md1.mean_sojourn_s,
+            mm1.mean_sojourn_s,
+            (mm1.mean_sojourn_s - f.mean_delay_s) / f.mean_delay_s * 100.0
+        );
+    }
+
+    println!("\n=== tandem effect: 3 hops, what independence approximations miss ===");
+    let mut g3 = Graph::new("tandem", 4);
+    for i in 0..3 {
+        g3.add_duplex(NodeId(i), NodeId(i + 1), 10_000.0, 0.0).unwrap();
+    }
+    let r3 = shortest_path_routing(&g3).unwrap();
+    println!(
+        "{:>6} {:>14} {:>16} {:>10}",
+        "rho", "sim mean (s)", "3x M/D/1 sum (s)", "sum bias"
+    );
+    for rho in [0.4, 0.6, 0.8] {
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(NodeId(0), NodeId(3), rho * 10_000.0);
+        let cfg = SimConfig {
+            duration_s: 3_000.0,
+            warmup_s: 300.0,
+            size_dist: SizeDistribution::Deterministic,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g3, &r3, &tm, &cfg).unwrap();
+        let f = res.flow(NodeId(0), NodeId(3)).unwrap();
+        let md1 = Mg1Link::new(rho * 10.0, 10.0, 0.0);
+        let sum = 3.0 * md1.mean_sojourn_s;
+        println!(
+            "{:>6.1} {:>14.4} {:>16.4} {:>9.1}%",
+            rho,
+            f.mean_delay_s,
+            sum,
+            (sum - f.mean_delay_s) / f.mean_delay_s * 100.0
+        );
+    }
+    println!(
+        "\nWith identical deterministic services, packets that waited at hop 1 never\n\
+         queue again downstream — the per-link independence sum overestimates the\n\
+         true tandem delay. This residual structure is what RouteNet learns."
+    );
+}

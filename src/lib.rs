@@ -1,0 +1,26 @@
+//! # routenet-suite
+//!
+//! Umbrella crate of the RouteNet generalization suite: re-exports the
+//! member crates under one roof and hosts the repository-level examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`core`] (the RouteNet model) and [`dataset`] (labeled-sample
+//! generation); see the repository README for the tour.
+//!
+//! ```
+//! use routenet_suite::core::prelude::*;
+//! use routenet_suite::netgraph::prelude::*;
+//!
+//! let g = topology::nsfnet();
+//! assert_eq!(g.n_nodes(), 14);
+//! let model = RouteNet::new(RouteNetConfig::default());
+//! assert!(model.n_parameters() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use routenet_core as core;
+pub use routenet_dataset as dataset;
+pub use routenet_netgraph as netgraph;
+pub use routenet_nn as nn;
+pub use routenet_simnet as simnet;

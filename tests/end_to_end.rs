@@ -1,0 +1,258 @@
+//! Cross-crate integration tests: the full pipeline from topology to
+//! trained-model predictions, exercised at miniature scale so they run in
+//! debug mode in seconds.
+
+use routenet_core::prelude::*;
+use routenet_dataset::gen::{generate_dataset_with_threads, GenConfig, RoutingDiversity, TopologySpec};
+use routenet_dataset::io::{load_jsonl, save_jsonl};
+
+fn tiny_gen(n: usize, seed: u64) -> GenConfig {
+    let mut cfg = GenConfig::new(TopologySpec::Synthetic { n: 6, topo_seed: 11 }, n, seed);
+    cfg.sim.duration_s = 80.0;
+    cfg.sim.warmup_s = 8.0;
+    cfg
+}
+
+fn tiny_model_cfg() -> RouteNetConfig {
+    RouteNetConfig {
+        link_state_dim: 8,
+        path_state_dim: 8,
+        readout_hidden: 16,
+        t_iterations: 3,
+        predict_jitter: true,
+        predict_drops: false,
+        seed: 5,
+    }
+}
+
+#[test]
+fn pipeline_generate_train_predict() {
+    let data = generate_dataset_with_threads(&tiny_gen(14, 3), 2);
+    let (train_set, test_set) = data.split_at(11);
+    let mut model = RouteNet::new(tiny_model_cfg());
+    let report = train(
+        &mut model,
+        train_set,
+        test_set,
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
+    );
+    // Loss must drop substantially from the first epoch.
+    let first = report.epochs.first().unwrap().train_loss;
+    let best = report.best_loss;
+    assert!(best < first, "no learning: {first} -> {best}");
+
+    // Predictions on held-out data correlate with the simulator.
+    let ev = collect_predictions(&model, test_set);
+    let s = ev.delay_summary();
+    assert!(s.pearson_r > 0.6, "weak correlation: r = {}", s.pearson_r);
+    assert!(s.mre.is_finite());
+}
+
+#[test]
+fn pipeline_through_disk_checkpoint() {
+    let data = generate_dataset_with_threads(&tiny_gen(8, 17), 2);
+    let mut model = RouteNet::new(tiny_model_cfg());
+    train(
+        &mut model,
+        &data[..6],
+        &[],
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 3,
+            ..TrainConfig::default()
+        },
+    );
+    let dir = std::env::temp_dir().join(format!("rn-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Model checkpoint roundtrip through a file.
+    let model_path = dir.join("model.json");
+    std::fs::write(&model_path, model.to_json()).unwrap();
+    let restored = RouteNet::from_json(&std::fs::read_to_string(&model_path).unwrap()).unwrap();
+
+    // Dataset roundtrip through a file.
+    let ds_path = dir.join("eval.jsonl");
+    save_jsonl(&ds_path, &data[6..]).unwrap();
+    let eval_set = load_jsonl(&ds_path).unwrap();
+
+    // Restored model on restored data == original model on original data.
+    let a = collect_predictions(&model, &data[6..]);
+    let b = collect_predictions(&restored, &eval_set);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.delay_pred.iter().zip(&b.delay_pred) {
+        assert_eq!(x, y, "prediction changed across disk roundtrip");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mm1_baseline_accurate_on_mm1_exact_labels() {
+    // With exponential sizes + Poisson arrivals the labels are per-link
+    // M/M/1 (plus tandem correlation); the analytic baseline must be close.
+    let mut cfg = GenConfig::mm1_exact(TopologySpec::Nsfnet, 2, 7);
+    cfg.sim.duration_s = 300.0;
+    cfg.sim.warmup_s = 30.0;
+    cfg.routing = RoutingDiversity::Fixed;
+    let data = generate_dataset_with_threads(&cfg, 2);
+    let ev = collect_predictions(&Mm1Baseline::default(), &data);
+    let s = ev.delay_summary();
+    assert!(s.median_re < 0.15, "M/M/1 medRE {} too high on exact labels", s.median_re);
+    assert!(s.pearson_r > 0.9);
+}
+
+#[test]
+fn mm1_baseline_biased_on_deterministic_sizes() {
+    // The default (M/D/1-like) labels expose the analytic model's bias: it
+    // must systematically overestimate delay.
+    let mut cfg = tiny_gen(4, 23);
+    cfg.intensity_min = 0.6;
+    cfg.intensity_max = 0.8;
+    cfg.sim.duration_s = 300.0;
+    cfg.sim.warmup_s = 30.0;
+    let data = generate_dataset_with_threads(&cfg, 2);
+    let ev = collect_predictions(&Mm1Baseline::default(), &data);
+    let over = ev
+        .delay_pred
+        .iter()
+        .zip(&ev.delay_true)
+        .filter(|(p, t)| p > t)
+        .count();
+    assert!(
+        over as f64 > 0.8 * ev.len() as f64,
+        "expected systematic overestimation, got {over}/{}",
+        ev.len()
+    );
+}
+
+#[test]
+fn routenet_transfers_across_graph_sizes() {
+    // Train on 6-node graphs, predict on a 10-node graph the model never
+    // saw: output must be structurally valid and loosely correlated.
+    let train_data = generate_dataset_with_threads(&tiny_gen(12, 31), 2);
+    let mut model = RouteNet::new(tiny_model_cfg());
+    train(
+        &mut model,
+        &train_data,
+        &[],
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let mut other = GenConfig::new(TopologySpec::Synthetic { n: 10, topo_seed: 99 }, 2, 71);
+    other.sim.duration_s = 80.0;
+    other.sim.warmup_s = 8.0;
+    let unseen = generate_dataset_with_threads(&other, 2);
+    let ev = collect_predictions(&model, &unseen);
+    assert_eq!(ev.len(), unseen.iter().map(|s| s.targets.iter().filter(|t| t.delay_s > 0.0).count()).sum::<usize>());
+    let s = ev.delay_summary();
+    assert!(s.pearson_r > 0.3, "transfer correlation too weak: {}", s.pearson_r);
+    assert!(ev.delay_pred.iter().all(|d| d.is_finite() && *d > 0.0));
+}
+
+#[test]
+fn fnn_cannot_transfer_but_routenet_can() {
+    // The structural contrast at the heart of the paper.
+    let data6 = generate_dataset_with_threads(&tiny_gen(6, 41), 2);
+    let fnn = FnnBaseline::train(
+        &data6,
+        &FnnConfig {
+            hidden: vec![16],
+            epochs: 20,
+            ..FnnConfig::default()
+        },
+    );
+    let mut other = GenConfig::new(TopologySpec::Synthetic { n: 9, topo_seed: 55 }, 1, 81);
+    other.sim.duration_s = 60.0;
+    other.sim.warmup_s = 6.0;
+    let unseen = generate_dataset_with_threads(&other, 1);
+    assert!(!fnn.supports(&unseen[0].scenario));
+    // RouteNet (even untrained) accepts the new graph.
+    let mut rn = RouteNet::new(tiny_model_cfg());
+    rn.set_normalizer(Normalizer {
+        capacity_scale: 40_000.0,
+        traffic_scale: 300.0,
+        ..Normalizer::default()
+    });
+    let preds = rn.predict(&unseen[0].scenario);
+    assert_eq!(preds.len(), 9 * 8);
+}
+
+#[test]
+fn drop_head_learns_finite_buffer_losses() {
+    // Finite buffers at high load: labels contain real drops; a RouteNet
+    // with the drop head must learn them better than predicting zero.
+    let mut cfg = tiny_gen(14, 61);
+    cfg.sim.buffer_pkts = Some(3);
+    cfg.intensity_min = 0.9;
+    cfg.intensity_max = 1.1;
+    cfg.sim.duration_s = 200.0;
+    cfg.sim.warmup_s = 20.0;
+    let data = generate_dataset_with_threads(&cfg, 2);
+    // Sanity: the dataset actually contains drops.
+    let total_drop: f64 = data
+        .iter()
+        .flat_map(|s| s.targets.iter().map(|t| t.drop_prob))
+        .sum();
+    assert!(total_drop > 0.0, "no drops generated — experiment is vacuous");
+
+    let (train_set, test_set) = data.split_at(11);
+    let mut model = RouteNet::new(RouteNetConfig {
+        predict_drops: true,
+        ..tiny_model_cfg()
+    });
+    assert_eq!(model.out_dim(), 3);
+    train(
+        &mut model,
+        train_set,
+        &[],
+        &TrainConfig {
+            epochs: 20,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let ev = collect_predictions(&model, test_set);
+    let (_, r) = ev.drop_summary().expect("model has a drop head");
+    // Trained with MSE, compare against the zero predictor in MSE.
+    let mse: f64 = ev
+        .drop_pred
+        .iter()
+        .zip(&ev.drop_true)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / ev.drop_true.len() as f64;
+    let zero_mse: f64 =
+        ev.drop_true.iter().map(|t| t * t).sum::<f64>() / ev.drop_true.len() as f64;
+    assert!(
+        mse < zero_mse,
+        "drop head no better than zero predictor: mse {mse} vs {zero_mse}"
+    );
+    assert!(r > 0.3, "drop predictions uncorrelated: r = {r}");
+    // Predictions respect the probability range.
+    assert!(ev.drop_pred.iter().all(|p| (0.0..=1.0).contains(p)));
+
+    // The M/M/1/K analytic baseline with the right buffer also applies.
+    let mm1k = Mm1kBaseline {
+        buffer_pkts: 4,
+        ..Mm1kBaseline::default()
+    };
+    let evk = collect_predictions(&mm1k, test_set);
+    let (mae_k, _) = evk.drop_summary().expect("analytic drop baseline");
+    assert!(mae_k.is_finite());
+}
+
+#[test]
+fn top_n_analytics_match_ground_truth_with_exact_predictor() {
+    let data = generate_dataset_with_threads(&tiny_gen(2, 51), 1);
+    let top = top_n_paths_by_delay(&Mm1Baseline::default(), &data[0], 5);
+    assert_eq!(top.len(), 5);
+    for w in top.windows(2) {
+        assert!(w[0].2 >= w[1].2, "top-N not sorted");
+    }
+}
