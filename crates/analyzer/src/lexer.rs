@@ -1,0 +1,482 @@
+//! A minimal Rust lexer: just enough structure for line-accurate pattern
+//! rules. Comments are captured separately (they carry `// lint: allow(..)`
+//! and `// INVARIANT:` directives); strings, chars, lifetimes, and numeric
+//! literals are collapsed to single tokens so rules never match inside them.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal (has `.`, exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String / raw-string / byte-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Operator or delimiter (maximal munch for multi-char operators).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `//` line comment (text excludes the `//`), or one line of a block
+/// comment.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Comment body, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators recognized by maximal munch. Longest first.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "->", "=>", "::", "..", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenize Rust source. Unterminated literals end the token at EOF rather
+/// than erroring: the analyzer must never panic on weird input.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                let start = pos + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..end].trim().to_string(),
+                });
+                pos = end;
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                pos = skip_block_comment(source, pos, &mut line, &mut out);
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(bytes, pos + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: source[pos..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                pos = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, pos) => {
+                let (end, newlines) = scan_raw_or_byte_string(bytes, pos);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: source[pos..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                pos = end;
+            }
+            b'\'' => {
+                let (kind, end) = scan_char_or_lifetime(bytes, pos);
+                out.tokens.push(Token {
+                    kind,
+                    text: source[pos..end].to_string(),
+                    line,
+                });
+                pos = end;
+            }
+            b'0'..=b'9' => {
+                let (kind, end) = scan_number(bytes, pos);
+                out.tokens.push(Token {
+                    kind,
+                    text: source[pos..end].to_string(),
+                    line,
+                });
+                pos = end;
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                let mut end = pos + 1;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[pos..end].to_string(),
+                    line,
+                });
+                pos = end;
+            }
+            _ => {
+                let rest = &source[pos..];
+                let munch = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                let text = match munch {
+                    Some(p) => (*p).to_string(),
+                    None => (b as char).to_string(),
+                };
+                let len = text.len();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+                pos += len;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+}
+
+/// Skip a (possibly nested) block comment, pushing one `Comment` per line so
+/// directive parsing treats `/* .. */` and `// ..` uniformly.
+fn skip_block_comment(source: &str, start: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let bytes = source.as_bytes();
+    let mut depth = 1usize;
+    let mut pos = start + 2;
+    let mut seg_start = pos;
+    while pos < bytes.len() && depth > 0 {
+        if bytes[pos] == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+            depth += 1;
+            pos += 2;
+        } else if bytes[pos] == b'*' && bytes.get(pos + 1) == Some(&b'/') {
+            depth -= 1;
+            pos += 2;
+        } else {
+            if bytes[pos] == b'\n' {
+                out.comments.push(Comment {
+                    line: *line,
+                    text: source[seg_start..pos]
+                        .trim_matches(['*', ' ', '\t'])
+                        .to_string(),
+                });
+                *line += 1;
+                seg_start = pos + 1;
+            }
+            pos += 1;
+        }
+    }
+    let seg_end = pos.saturating_sub(2).max(seg_start);
+    out.comments.push(Comment {
+        line: *line,
+        text: source[seg_start..seg_end]
+            .trim_matches(['*', ' ', '\t', '/'])
+            .to_string(),
+    });
+    pos
+}
+
+/// Scan past a normal string body starting *after* the opening quote.
+/// Returns (end index past the closing quote, newline count inside).
+fn scan_string(bytes: &[u8], mut pos: usize) -> (usize, u32) {
+    let mut newlines = 0u32;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'"' => return (pos + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                pos += 1;
+            }
+            _ => pos += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+fn starts_raw_or_byte_string(bytes: &[u8], pos: usize) -> bool {
+    // r"  r#"  b"  br"  br#"  rb is not a thing; b'..' is a byte char (handled
+    // poorly as ident + char, acceptable: the char scanner still isolates it).
+    let mut i = pos;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+    } else if i == pos {
+        return false; // plain ident starting with r/b but no string follows
+    }
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'"') && (bytes[pos] == b'r' || bytes.get(pos + 1) != Some(&b'\''))
+}
+
+fn scan_raw_or_byte_string(bytes: &[u8], pos: usize) -> (usize, u32) {
+    let mut i = pos;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return (j, newlines);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// Distinguish `'a'` (char) from `'a` (lifetime). Returns (kind, end).
+fn scan_char_or_lifetime(bytes: &[u8], pos: usize) -> (TokenKind, usize) {
+    let next = bytes.get(pos + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: find closing quote.
+            let mut i = pos + 2;
+            if i < bytes.len() {
+                i += 1; // the escaped character
+            }
+            // \u{...} form
+            if bytes.get(pos + 2) == Some(&b'u') {
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+            }
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            (TokenKind::Char, (i + 1).min(bytes.len()))
+        }
+        Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+            if bytes.get(pos + 2) == Some(&b'\'') && !is_ident_continue_at(bytes, pos + 3) {
+                // 'x' single-char literal
+                (TokenKind::Char, pos + 3)
+            } else {
+                // lifetime 'ident
+                let mut i = pos + 2;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                (TokenKind::Lifetime, i)
+            }
+        }
+        Some(_) => {
+            // Non-alphabetic char literal like '.', '0', or even '\''.
+            let mut i = pos + 2;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            (TokenKind::Char, (i + 1).min(bytes.len()))
+        }
+        None => (TokenKind::Punct, pos + 1),
+    }
+}
+
+fn is_ident_continue_at(bytes: &[u8], pos: usize) -> bool {
+    bytes.get(pos).is_some_and(|&b| is_ident_continue(b))
+}
+
+/// Scan a numeric literal starting at a digit. Returns (Int|Float, end).
+fn scan_number(bytes: &[u8], pos: usize) -> (TokenKind, usize) {
+    let mut i = pos;
+    let mut is_float = false;
+    // Radix prefixes are integer-only.
+    if bytes[i] == b'0'
+        && matches!(
+            bytes.get(i + 1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        )
+    {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (TokenKind::Int, i);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: `.` followed by a digit (or end-of-number `1.`), but
+    // not `..` (range) and not `.ident` (method call / tuple field).
+    if bytes.get(i) == Some(&b'.')
+        && bytes.get(i + 1) != Some(&b'.')
+        && !is_ident_start_at(bytes, i + 1)
+    {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(i), Some(b'e' | b'E')) {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(b'+' | b'-')) {
+            j += 1;
+        }
+        if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (u32, i64, f64, usize, ...).
+    let suffix_start = i;
+    while i < bytes.len() && is_ident_continue(bytes[i]) {
+        i += 1;
+    }
+    if bytes.get(suffix_start) == Some(&b'f') {
+        is_float = true;
+    }
+    (
+        if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        i,
+    )
+}
+
+fn is_ident_start_at(bytes: &[u8], pos: usize) -> bool {
+    bytes
+        .get(pos)
+        .is_some_and(|&b| b == b'_' || b.is_ascii_alphabetic())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn numbers_classified() {
+        let toks = kinds("1 1.0 1. 1e5 1_000 0xff 2f64 3u32 1..5 x.0");
+        let float = |s: &str| (TokenKind::Float, s.to_string());
+        let int = |s: &str| (TokenKind::Int, s.to_string());
+        assert_eq!(toks[0], int("1"));
+        assert_eq!(toks[1], float("1.0"));
+        assert_eq!(toks[2], float("1."));
+        assert_eq!(toks[3], float("1e5"));
+        assert_eq!(toks[4], int("1_000"));
+        assert_eq!(toks[5], int("0xff"));
+        assert_eq!(toks[6], float("2f64"));
+        assert_eq!(toks[7], int("3u32"));
+        // 1..5 is Int, Punct(..), Int
+        assert_eq!(toks[8], int("1"));
+        assert_eq!(toks[9], (TokenKind::Punct, "..".to_string()));
+        assert_eq!(toks[10], int("5"));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let lexed = lex("let s = \"a.unwrap() == 0.0\"; // x.unwrap()\nlet t = 1;");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "x.unwrap()");
+        // Line tracking survives the comment.
+        let t_tok = lexed.tokens.iter().find(|t| t.text == "t").expect("t");
+        assert_eq!(t_tok.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let r = r#\"unwrap()\"#; let c = 'x'; }");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn multiline_string_advances_line_counter() {
+        let lexed = lex("let s = \"a\nb\nc\";\nlet z = 9;");
+        let z = lexed.tokens.iter().find(|t| t.text == "z").expect("z");
+        assert_eq!(z.line, 4);
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let toks = kinds("a == b != c && d..=e -> f");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert!(texts.contains(&"=="));
+        assert!(texts.contains(&"!="));
+        assert!(texts.contains(&"&&"));
+        assert!(texts.contains(&"..="));
+        assert!(texts.contains(&"->"));
+    }
+
+    #[test]
+    fn block_comments_recorded() {
+        let lexed = lex("/* one\n * two */ let x = 1;");
+        assert!(lexed.comments.len() >= 2);
+        let x = lexed.tokens.iter().find(|t| t.text == "x").expect("x");
+        assert_eq!(x.line, 2);
+    }
+}

@@ -1,0 +1,315 @@
+//! # routenet-analyzer
+//!
+//! Dependency-free static-analysis gate for the RouteNet workspace. The
+//! offline toolchain rules out `syn`-based tooling, so this crate carries its
+//! own minimal Rust lexer ([`lexer`]) and a set of token-level rules
+//! ([`rules`]) tuned to the failure modes that would invalidate the paper's
+//! generalization results: hidden panics in hot paths, NaN-unsound float
+//! handling, silently truncating casts, and undocumented invariants.
+//!
+//! Entry points: [`analyze_workspace`] (what `scripts/check.sh` and CI run)
+//! and [`analyze_paths`] (explicit files, all rules on — used by the fixture
+//! tests). Both produce a [`Report`] with `file:line` diagnostics and a
+//! machine-readable JSON rendering.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{AllowEntry, Diagnostic, InvariantEntry, RuleSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files whose library code gets the full panic audit including the bare
+/// slice-indexing check (the paper-critical hot paths).
+pub const HOT_PATHS: &[&str] = &[
+    "crates/nn/src/tape.rs",
+    "crates/simnet/src/sim.rs",
+    "crates/core/src/model.rs",
+    "crates/core/src/trainer.rs",
+];
+
+/// Directory components that exclude a file from analysis entirely.
+const SKIP_DIRS: &[&str] = &[
+    "tests", "benches", "examples", "fixtures", "target", "vendor",
+];
+
+/// Aggregated analysis result over a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Index of every `// INVARIANT:` annotation found.
+    pub invariants: Vec<InvariantEntry>,
+    /// Every `// lint: allow(..)` justification in force.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Order diagnostics by `(file, line, rule)` so reports are stable
+    /// across filesystem iteration order.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.invariants
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Human-readable diagnostics, one `file:line: [rule] message` per line.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} diagnostic(s), {} invariant(s) indexed ({} checked), {} allow justification(s)\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.invariants.len(),
+            self.invariants.iter().filter(|i| i.checked).count(),
+            self.allows.len(),
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled: this crate is
+    /// dependency-free so it can never be broken by the code it audits).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"version\": 1,\n  \"files_scanned\": {},\n",
+            self.files_scanned
+        ));
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(d.rule),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message),
+                comma(i, self.diagnostics.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"invariants\": [\n");
+        for (i, v) in self.invariants.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"function\": {}, \"text\": {}, \"checked\": {}}}{}\n",
+                json_str(&v.file),
+                v.line,
+                json_str(&v.function),
+                json_str(&v.text),
+                v.checked,
+                comma(i, self.invariants.len()),
+            ));
+        }
+        out.push_str("  ],\n  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}{}\n",
+                json_str(&a.file),
+                a.line,
+                json_str(&a.rule),
+                json_str(&a.reason),
+                comma(i, self.allows.len()),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Errors from the filesystem walk.
+#[derive(Debug)]
+pub struct AnalyzeError {
+    /// What went wrong, with the offending path.
+    pub message: String,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Analyze the whole workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`). Scans `src/` and `crates/*/src/`; `tests/`,
+/// `benches/`, `examples/`, `fixtures/`, and `vendor/` are exempt, and
+/// `src/bin/` is exempt from the panic audit only.
+pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    let mut files = Vec::new();
+    for base in ["src", "crates"] {
+        let dir = root.join(base);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rules = rules_for(&rel);
+        analyze_one(path, &rel, rules, &mut report)?;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Analyze explicit paths with every rule enabled (fixture mode).
+pub fn analyze_paths(paths: &[PathBuf]) -> Result<Report, AnalyzeError> {
+    let mut report = Report::default();
+    for path in paths {
+        let rel = path.to_string_lossy().replace('\\', "/");
+        analyze_one(path, &rel, RuleSet::all(), &mut report)?;
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn analyze_one(
+    path: &Path,
+    rel: &str,
+    rules: RuleSet,
+    report: &mut Report,
+) -> Result<(), AnalyzeError> {
+    let source = fs::read_to_string(path).map_err(|e| AnalyzeError {
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    let file = rules::analyze_source(rel, &source, rules);
+    report.files_scanned += 1;
+    report.diagnostics.extend(file.diagnostics);
+    report.invariants.extend(file.invariants);
+    report.allows.extend(file.allows);
+    Ok(())
+}
+
+/// Rule selection by path: hot paths get the full audit, `src/bin/` binaries
+/// keep numeric rules but may panic, everything else is ordinary library code.
+fn rules_for(rel: &str) -> RuleSet {
+    if HOT_PATHS.iter().any(|h| rel.ends_with(h)) {
+        RuleSet::all()
+    } else if rel.contains("/bin/") || rel.ends_with("main.rs") {
+        RuleSet::binary()
+    } else {
+        RuleSet::library()
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzeError> {
+    let entries = fs::read_dir(dir).map_err(|e| AnalyzeError {
+        message: format!("cannot read dir {}: {e}", dir.display()),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzeError {
+            message: format!("cannot read dir entry under {}: {e}", dir.display()),
+        })?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn rules_for_classifies_paths() {
+        assert!(rules_for("crates/nn/src/tape.rs").panic_indexing);
+        assert!(!rules_for("crates/nn/src/tensor.rs").panic_indexing);
+        assert!(rules_for("crates/nn/src/tensor.rs").panic_calls);
+        assert!(!rules_for("crates/bench/src/bin/fig2.rs").panic_calls);
+        assert!(rules_for("crates/bench/src/bin/fig2.rs").float_eq);
+    }
+
+    #[test]
+    fn report_json_is_parseable_shape() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        r.diagnostics.push(rules::Diagnostic {
+            rule: "panic",
+            file: "x.rs".into(),
+            line: 3,
+            message: "msg with \"quotes\"".into(),
+        });
+        let j = r.json();
+        assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\\\"quotes\\\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -1,0 +1,881 @@
+//! Rule passes over the token/comment streams produced by [`crate::lexer`].
+//!
+//! Five rules, each identified by the name used in `// lint: allow(..)`
+//! directives:
+//!
+//! | rule        | flags |
+//! |-------------|-------|
+//! | `panic`     | `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code; bare slice indexing in hot-path files |
+//! | `float-eq`  | `==` / `!=` where an operand is a float literal |
+//! | `nan`       | `.partial_cmp(..)` chained into `unwrap*`/`expect` (NaN panics or is silently misordered); division by a literal zero |
+//! | `cast`      | narrowing integer casts; `as usize`-family casts inside index brackets; float-literal → integer casts |
+//! | `invariant` | `// INVARIANT:` comments whose function has no `debug_assert!` |
+//!
+//! Suppression: `// lint: allow(<rule>, reason = "...")` on the same line or
+//! the line directly above. The reason is mandatory — an allow without one is
+//! itself reported (rule `lint-syntax`).
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+
+/// All rule names, in report order.
+pub const RULE_NAMES: &[&str] = &[
+    "panic",
+    "float-eq",
+    "nan",
+    "cast",
+    "invariant",
+    "lint-syntax",
+];
+
+/// One finding, pointing at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// An `// INVARIANT:` annotation and whether its function checks it.
+#[derive(Debug, Clone)]
+pub struct InvariantEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Name of the function the invariant is attached to (empty if unattached).
+    pub function: String,
+    /// Invariant text (after `INVARIANT:`).
+    pub text: String,
+    /// Whether the function body contains a `debug_assert!` family call.
+    pub checked: bool,
+}
+
+/// A parsed `// lint: allow(..)` directive.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// Rule being allowed.
+    pub rule: String,
+    /// Justification text.
+    pub reason: String,
+}
+
+/// Which rules run on a given file.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// Flag `.unwrap()`/`.expect()`/`panic!`-family in library code.
+    pub panic_calls: bool,
+    /// Flag bare slice indexing (hot-path files only).
+    pub panic_indexing: bool,
+    /// Flag float-literal `==`/`!=`.
+    pub float_eq: bool,
+    /// Flag NaN-unsound patterns.
+    pub nan: bool,
+    /// Flag lossy casts.
+    pub cast: bool,
+    /// Check `// INVARIANT:` annotations.
+    pub invariant: bool,
+}
+
+impl RuleSet {
+    /// Everything on — used for fixtures and hot-path files.
+    pub fn all() -> Self {
+        RuleSet {
+            panic_calls: true,
+            panic_indexing: true,
+            float_eq: true,
+            nan: true,
+            cast: true,
+            invariant: true,
+        }
+    }
+
+    /// Default for ordinary library code: all rules except the
+    /// indexing audit, which is reserved for hot-path files.
+    pub fn library() -> Self {
+        RuleSet {
+            panic_indexing: false,
+            ..RuleSet::all()
+        }
+    }
+
+    /// Binaries (`src/bin/`) may panic: CLI tools fail loudly by design.
+    /// Numeric discipline still applies.
+    pub fn binary() -> Self {
+        RuleSet {
+            panic_calls: false,
+            panic_indexing: false,
+            ..RuleSet::all()
+        }
+    }
+}
+
+/// Full single-file analysis result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings after allow-directive and test-span filtering.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Invariant index entries (including checked ones).
+    pub invariants: Vec<InvariantEntry>,
+    /// Allow directives that suppressed at least the syntax check.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// Analyze one file's source text.
+pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
+    let lexed = crate::lexer::lex(source);
+    let test_spans = test_mod_spans(&lexed.tokens);
+    let fns = function_spans(&lexed.tokens);
+    let directives = parse_directives(file, &lexed, &test_spans);
+
+    let mut raw: Vec<Diagnostic> = directives.syntax_errors.clone();
+    if rules.panic_calls || rules.panic_indexing {
+        panic_rule(file, &lexed.tokens, rules, &mut raw);
+    }
+    if rules.float_eq {
+        float_eq_rule(file, &lexed.tokens, &mut raw);
+    }
+    if rules.nan {
+        nan_rule(file, &lexed.tokens, &mut raw);
+    }
+    if rules.cast {
+        cast_rule(file, &lexed.tokens, &mut raw);
+    }
+
+    let mut invariants = Vec::new();
+    if rules.invariant {
+        invariant_rule(file, &lexed, &fns, &directives, &mut raw, &mut invariants);
+    }
+
+    let diagnostics = raw
+        .into_iter()
+        .filter(|d| !in_spans(d.line, &test_spans))
+        .filter(|d| !directives.is_allowed(d.rule, d.line))
+        .collect();
+
+    FileReport {
+        diagnostics,
+        invariants,
+        allows: directives.allows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directives: `lint: allow(..)` and `INVARIANT:` comments
+// ---------------------------------------------------------------------------
+
+struct Directives {
+    /// (rule, directive line, effective code line)
+    allow_lines: Vec<(String, u32, u32)>,
+    allows: Vec<AllowEntry>,
+    invariant_comments: Vec<Comment>,
+    syntax_errors: Vec<Diagnostic>,
+}
+
+impl Directives {
+    fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allow_lines
+            .iter()
+            .any(|(r, dl, el)| r == rule && (line == *dl || line == *el))
+    }
+}
+
+fn parse_directives(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)]) -> Directives {
+    let mut d = Directives {
+        allow_lines: Vec::new(),
+        allows: Vec::new(),
+        invariant_comments: Vec::new(),
+        syntax_errors: Vec::new(),
+    };
+    for c in &lexed.comments {
+        // Strip doc-comment leaders (`///`, `//!` arrive as `/`, `!`).
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        if let Some(rest) = text.strip_prefix("INVARIANT:") {
+            d.invariant_comments.push(Comment {
+                line: c.line,
+                text: rest.trim().to_string(),
+            });
+            continue;
+        }
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                let effective = lexed
+                    .tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.line)
+                    .unwrap_or(c.line);
+                d.allow_lines.push((rule.clone(), c.line, effective));
+                d.allows.push(AllowEntry {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule,
+                    reason,
+                });
+            }
+            Err(msg) if !in_spans(c.line, test_spans) => {
+                d.syntax_errors.push(Diagnostic {
+                    rule: "lint-syntax",
+                    file: file.to_string(),
+                    line: c.line,
+                    message: msg,
+                });
+            }
+            Err(_) => {}
+        }
+    }
+    d
+}
+
+/// Parse `allow(<rule>, reason = "...")`. The reason is mandatory.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let Some(inner) = text
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+        .and_then(|t| t.strip_suffix(')'))
+    else {
+        return Err(format!("malformed lint directive `lint: {text}` — expected `lint: allow(<rule>, reason = \"...\")`"));
+    };
+    let Some((rule, rest)) = inner.split_once(',') else {
+        return Err(
+            "lint allow is missing a reason — write `lint: allow(<rule>, reason = \"...\")`"
+                .to_string(),
+        );
+    };
+    let rule = rule.trim().to_string();
+    if !RULE_NAMES.contains(&rule.as_str()) {
+        return Err(format!(
+            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant)"
+        ));
+    }
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .map(|t| t.trim_matches('"').trim())
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "lint allow({rule}) has an empty reason — justify the exception"
+        ));
+    }
+    Ok((rule, reason.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Structural scans: `#[cfg(test)] mod` spans and function spans
+// ---------------------------------------------------------------------------
+
+fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
+    spans.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Line spans of `#[cfg(test)] mod .. { .. }` bodies.
+fn test_mod_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip this attribute, any further attributes, and visibility.
+            let mut j = skip_attr(tokens, i);
+            loop {
+                if matches!(tokens.get(j), Some(t) if t.text == "#") {
+                    j = skip_attr(tokens, j);
+                } else if matches!(tokens.get(j), Some(t) if t.text == "pub") {
+                    j += 1;
+                    if matches!(tokens.get(j), Some(t) if t.text == "(") {
+                        j = skip_balanced(tokens, j, "(", ")");
+                    }
+                } else {
+                    break;
+                }
+            }
+            if matches!(tokens.get(j), Some(t) if t.text == "mod") {
+                // mod <name> { ... }
+                if let Some(open) = tokens[j..].iter().position(|t| t.text == "{") {
+                    let start_idx = j + open;
+                    let end_idx = skip_balanced(tokens, start_idx, "{", "}");
+                    let start = tokens[start_idx].line;
+                    let end = tokens
+                        .get(end_idx.saturating_sub(1))
+                        .map_or(start, |t| t.line);
+                    spans.push((tokens[i].line, end));
+                    i = end_idx;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Does `tokens[i..]` start `#[cfg(test)]`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let texts: Vec<&str> = tokens[i..]
+        .iter()
+        .take(7)
+        .map(|t| t.text.as_str())
+        .collect();
+    matches!(texts.as_slice(), ["#", "[", "cfg", "(", "test", ")", "]"])
+}
+
+/// Given `tokens[i] == "#"`, return the index just past the attribute.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if matches!(tokens.get(j), Some(t) if t.text == "!") {
+        j += 1;
+    }
+    if matches!(tokens.get(j), Some(t) if t.text == "[") {
+        skip_balanced(tokens, j, "[", "]")
+    } else {
+        j
+    }
+}
+
+/// Given `tokens[open]` is the opening delimiter, return the index just past
+/// its matching close (or `tokens.len()` when unbalanced).
+fn skip_balanced(tokens: &[Token], open: usize, open_t: &str, close_t: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].text == open_t {
+            depth += 1;
+        } else if tokens[j].text == close_t {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// A function item: name, signature line, and body token/line extent.
+#[derive(Debug)]
+struct FnSpan {
+    name: String,
+    sig_line: u32,
+    body_start_line: u32,
+    body_end_line: u32,
+    body_tokens: (usize, usize),
+}
+
+fn function_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "fn" {
+            let name_tok = tokens.get(i + 1);
+            // `fn(` is a function-pointer type, `Fn(..)` never lexes as `fn`.
+            if let Some(name) = name_tok.filter(|t| t.kind == TokenKind::Ident) {
+                // Find the body `{`: first brace outside parens/brackets.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut body = None;
+                while let Some(t) = tokens.get(j) {
+                    match t.text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "[" => bracket += 1,
+                        "]" => bracket -= 1,
+                        "{" if paren == 0 && bracket == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        ";" if paren == 0 && bracket == 0 => break, // trait decl
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    let end = skip_balanced(tokens, open, "{", "}");
+                    fns.push(FnSpan {
+                        name: name.text.clone(),
+                        sig_line: tokens[i].line,
+                        body_start_line: tokens[open].line,
+                        body_end_line: tokens
+                            .get(end.saturating_sub(1))
+                            .map_or(tokens[open].line, |t| t.line),
+                        body_tokens: (open, end),
+                    });
+                    // Continue scanning *inside* the body too (nested fns):
+                    // advance past `fn name` only.
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+// ---------------------------------------------------------------------------
+// Rule: panic
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (slice patterns, array types after `as`, ...).
+const NON_INDEX_PREFIX: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "match", "if", "else", "as", "dyn", "impl", "box",
+];
+
+fn panic_rule(file: &str, tokens: &[Token], rules: RuleSet, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if rules.panic_calls && t.kind == TokenKind::Ident {
+            let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+            let next = tokens.get(i + 1);
+            let is_method =
+                prev.is_some_and(|p| p.text == ".") && next.is_some_and(|n| n.text == "(");
+            if is_method && (t.text == "unwrap" || t.text == "expect") {
+                out.push(Diagnostic {
+                    rule: "panic",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        ".{}() in library code — return a typed error or justify with `// lint: allow(panic, reason = \"...\")`",
+                        t.text
+                    ),
+                });
+            }
+            let is_macro = next.is_some_and(|n| n.text == "!")
+                && !prev.is_some_and(|p| p.text == "." || p.text == "fn");
+            if is_macro && PANIC_MACROS.contains(&t.text.as_str()) {
+                out.push(Diagnostic {
+                    rule: "panic",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "{}! in library code — return a typed error or justify with `// lint: allow(panic, reason = \"...\")`",
+                        t.text
+                    ),
+                });
+            }
+        }
+        if rules.panic_indexing && t.text == "[" {
+            if let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) {
+                let indexable = (prev.kind == TokenKind::Ident
+                    && !NON_INDEX_PREFIX.contains(&prev.text.as_str()))
+                    || prev.text == "]"
+                    || prev.text == ")";
+                if indexable && !is_full_range_index(tokens, i) {
+                    out.push(Diagnostic {
+                        rule: "panic",
+                        file: file.to_string(),
+                        line: t.line,
+                        message: "bare slice indexing in hot-path code — use .get()/.get_mut(), prove the bound with a debug_assert! + allow, or restructure".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `x[..]` — the only indexing form that cannot panic.
+fn is_full_range_index(tokens: &[Token], open: usize) -> bool {
+    matches!(tokens.get(open + 1), Some(t) if t.text == "..")
+        && matches!(tokens.get(open + 2), Some(t) if t.text == "]")
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-eq
+// ---------------------------------------------------------------------------
+
+fn float_eq_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "==" && t.text != "!=" {
+            continue;
+        }
+        let lhs_float = i
+            .checked_sub(1)
+            .and_then(|p| tokens.get(p))
+            .is_some_and(|p| p.kind == TokenKind::Float);
+        let rhs = tokens.get(i + 1);
+        let rhs_float = match rhs {
+            Some(r) if r.kind == TokenKind::Float => true,
+            Some(r) if r.text == "-" => {
+                matches!(tokens.get(i + 2), Some(n) if n.kind == TokenKind::Float)
+            }
+            _ => false,
+        };
+        if lhs_float || rhs_float {
+            out.push(Diagnostic {
+                rule: "float-eq",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "exact float comparison `{}` with a float literal — compare against an epsilon or justify with `// lint: allow(float-eq, reason = \"...\")`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nan
+// ---------------------------------------------------------------------------
+
+const NAN_SINKS: &[&str] = &["unwrap", "expect", "unwrap_or", "unwrap_or_else"];
+
+fn nan_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        // `.partial_cmp(..).unwrap*` — panics on NaN or silently misorders it.
+        if t.kind == TokenKind::Ident
+            && t.text == "partial_cmp"
+            && i.checked_sub(1)
+                .and_then(|p| tokens.get(p))
+                .is_some_and(|p| p.text == ".")
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "(")
+        {
+            let after_args = skip_balanced(tokens, i + 1, "(", ")");
+            let chained = matches!(tokens.get(after_args), Some(d) if d.text == ".")
+                && matches!(
+                    tokens.get(after_args + 1),
+                    Some(m) if NAN_SINKS.contains(&m.text.as_str())
+                );
+            if chained {
+                let sink = &tokens[after_args + 1].text;
+                out.push(Diagnostic {
+                    rule: "nan",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        ".partial_cmp(..).{sink}(..) mishandles NaN — use f64::total_cmp or handle the None case"
+                    ),
+                });
+            }
+        }
+        // Division by a literal zero always produces inf/NaN.
+        if t.text == "/"
+            && matches!(
+                tokens.get(i + 1),
+                Some(z) if z.kind == TokenKind::Float && is_zero_float_literal(&z.text)
+            )
+        {
+            out.push(Diagnostic {
+                rule: "nan",
+                file: file.to_string(),
+                line: t.line,
+                message: "division by literal 0.0 produces inf/NaN".to_string(),
+            });
+        }
+    }
+}
+
+/// True for `0.0`, `0.`, `0.000f64`, ... — every digit is zero.
+fn is_zero_float_literal(text: &str) -> bool {
+    let core = text
+        .strip_suffix("f64")
+        .or_else(|| text.strip_suffix("f32"))
+        .unwrap_or(text);
+    core.chars().all(|c| matches!(c, '0' | '.' | '_')) && core.contains('0')
+}
+
+// ---------------------------------------------------------------------------
+// Rule: cast
+// ---------------------------------------------------------------------------
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+const INDEX_TARGETS: &[&str] = &["usize", "isize", "u64", "i64", "u128", "i128"];
+
+fn cast_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    // Track whether each `[`/`]` nesting level is an *index* bracket.
+    let mut index_stack: Vec<bool> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "[" => {
+                let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+                let is_index = prev.is_some_and(|p| {
+                    (p.kind == TokenKind::Ident && !NON_INDEX_PREFIX.contains(&p.text.as_str()))
+                        || p.text == "]"
+                        || p.text == ")"
+                });
+                index_stack.push(is_index);
+            }
+            "]" => {
+                index_stack.pop();
+            }
+            "as" if t.kind == TokenKind::Ident => {
+                let Some(target) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+                    continue;
+                };
+                let prev_float = i
+                    .checked_sub(1)
+                    .and_then(|p| tokens.get(p))
+                    .is_some_and(|p| p.kind == TokenKind::Float);
+                let in_index = index_stack.last().copied().unwrap_or(false);
+                if NARROW_TARGETS.contains(&target.text.as_str()) {
+                    out.push(Diagnostic {
+                        rule: "cast",
+                        file: file.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "potentially lossy `as {}` — use From/TryFrom or justify with `// lint: allow(cast, reason = \"...\")`",
+                            target.text
+                        ),
+                    });
+                } else if INDEX_TARGETS.contains(&target.text.as_str()) && (in_index || prev_float)
+                {
+                    out.push(Diagnostic {
+                        rule: "cast",
+                        file: file.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "lossy `as {}` in indexing position — truncation silently redirects the access; bound-check first or justify with `// lint: allow(cast, reason = \"...\")`",
+                            target.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: invariant
+// ---------------------------------------------------------------------------
+
+fn invariant_rule(
+    file: &str,
+    lexed: &Lexed,
+    fns: &[FnSpan],
+    directives: &Directives,
+    out: &mut Vec<Diagnostic>,
+    index: &mut Vec<InvariantEntry>,
+) {
+    for c in &directives.invariant_comments {
+        // Innermost function whose body contains the comment line, else the
+        // next function declared at or below it (attrs/docs may intervene).
+        let owner = fns
+            .iter()
+            .filter(|f| (f.body_start_line..=f.body_end_line).contains(&c.line))
+            .min_by_key(|f| f.body_end_line - f.body_start_line)
+            .or_else(|| {
+                fns.iter()
+                    .filter(|f| f.sig_line >= c.line)
+                    .min_by_key(|f| f.sig_line)
+            });
+        match owner {
+            None => {
+                out.push(Diagnostic {
+                    rule: "invariant",
+                    file: file.to_string(),
+                    line: c.line,
+                    message: "INVARIANT comment is not attached to any function".to_string(),
+                });
+                index.push(InvariantEntry {
+                    file: file.to_string(),
+                    line: c.line,
+                    function: String::new(),
+                    text: c.text.clone(),
+                    checked: false,
+                });
+            }
+            Some(f) => {
+                let (a, b) = f.body_tokens;
+                let checked = lexed.tokens[a..b.min(lexed.tokens.len())]
+                    .windows(2)
+                    .any(|w| {
+                        w[0].kind == TokenKind::Ident
+                            && w[0].text.starts_with("debug_assert")
+                            && w[1].text == "!"
+                    });
+                if !checked {
+                    out.push(Diagnostic {
+                        rule: "invariant",
+                        file: file.to_string(),
+                        line: c.line,
+                        message: format!(
+                            "fn {} declares an INVARIANT but contains no debug_assert! backing it",
+                            f.name
+                        ),
+                    });
+                }
+                index.push(InvariantEntry {
+                    file: file.to_string(),
+                    line: c.line,
+                    function: f.name.clone(),
+                    text: c.text.clone(),
+                    checked,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> FileReport {
+        analyze_source("test.rs", src, RuleSet::all())
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged() {
+        let r = run("fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"y\") }");
+        assert_eq!(
+            r.diagnostics.iter().filter(|d| d.rule == "panic").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let r = run("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_not_in_tests() {
+        let src =
+            "fn f() { panic!(\"x\"); }\n#[cfg(test)]\nmod tests {\n fn g() { panic!(\"ok\"); }\n}";
+        let r = run(src);
+        let panics: Vec<_> = r.diagnostics.iter().filter(|d| d.rule == "panic").collect();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].line, 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_line_and_above() {
+        let same = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(panic, reason = \"checked\")";
+        assert!(run(same).diagnostics.is_empty());
+        let above = "// lint: allow(panic, reason = \"checked\")\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run(above).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let r = run("// lint: allow(panic)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert!(r.diagnostics.iter().any(|d| d.rule == "lint-syntax"));
+    }
+
+    #[test]
+    fn unknown_rule_name_is_reported() {
+        let r = run("// lint: allow(bogus, reason = \"x\")\nfn f() {}");
+        assert!(r.diagnostics.iter().any(|d| d.rule == "lint-syntax"));
+    }
+
+    #[test]
+    fn float_eq_flagged_only_for_float_operands() {
+        let r = run("fn f(x: f64, n: usize) -> bool { x == 0.0 && n == 0 }");
+        assert_eq!(
+            r.diagnostics
+                .iter()
+                .filter(|d| d.rule == "float-eq")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn partial_cmp_chain_flagged() {
+        let src = "fn f(a: f64, b: f64) -> std::cmp::Ordering { a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal) }";
+        let r = run(src);
+        assert_eq!(r.diagnostics.iter().filter(|d| d.rule == "nan").count(), 1);
+        // panic rule does not double-count unwrap_or
+        assert!(r.diagnostics.iter().all(|d| d.rule != "panic"));
+    }
+
+    #[test]
+    fn narrowing_and_index_casts_flagged() {
+        let r = run("fn f(x: u64, t: f64, v: &[u8]) -> u8 { let _ = v[t as usize]; x as u8 }");
+        let casts: Vec<_> = r.diagnostics.iter().filter(|d| d.rule == "cast").collect();
+        assert_eq!(casts.len(), 2);
+    }
+
+    #[test]
+    fn plain_usize_cast_outside_indexing_not_flagged() {
+        let r = analyze_source(
+            "t.rs",
+            "fn f(x: u32) -> usize { x as usize }",
+            RuleSet::library(),
+        );
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn bare_indexing_flagged_in_hot_path_mode_only() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] }";
+        assert_eq!(
+            run(src)
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == "panic")
+                .count(),
+            1
+        );
+        let lib = analyze_source("t.rs", src, RuleSet::library());
+        assert!(lib.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn full_range_index_not_flagged() {
+        let src = "fn f(v: &[u8]) -> &[u8] { &v[..] }";
+        assert!(run(src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn invariant_without_debug_assert_flagged() {
+        let src = "/// INVARIANT: x is finite\nfn f(x: f64) -> f64 { x * 2.0 }";
+        let r = run(src);
+        assert_eq!(
+            r.diagnostics
+                .iter()
+                .filter(|d| d.rule == "invariant")
+                .count(),
+            1
+        );
+        assert_eq!(r.invariants.len(), 1);
+        assert!(!r.invariants[0].checked);
+        assert_eq!(r.invariants[0].function, "f");
+    }
+
+    #[test]
+    fn invariant_with_debug_assert_indexed_as_checked() {
+        let src = "// INVARIANT: x is finite\nfn f(x: f64) -> f64 { debug_assert!(x.is_finite()); x * 2.0 }";
+        let r = run(src);
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.invariants.len(), 1);
+        assert!(r.invariants[0].checked);
+    }
+
+    #[test]
+    fn invariant_inside_fn_body_attaches_to_that_fn() {
+        let src = "fn outer(x: f64) -> f64 {\n    // INVARIANT: gradient is finite\n    debug_assert!(x.is_finite());\n    x\n}";
+        let r = run(src);
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.invariants[0].function, "outer");
+    }
+
+    #[test]
+    fn attribute_brackets_not_treated_as_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> S { S }";
+        assert!(run(src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn strings_do_not_trigger_rules() {
+        let src = "fn f() -> &'static str { \"call .unwrap() == 0.0\" }";
+        assert!(run(src).diagnostics.is_empty());
+    }
+}

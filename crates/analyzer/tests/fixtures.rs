@@ -1,0 +1,212 @@
+//! End-to-end tests driving the `routenet-analyzer` binary against the
+//! fixture files in `tests/fixtures/`. Each fixture pins violations to fixed
+//! lines, so these tests assert exact diagnostic counts and `file:line`
+//! positions as well as exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_routenet-analyzer"))
+        .args(args)
+        .output()
+        .expect("analyzer binary runs")
+}
+
+fn run_on_fixtures(names: &[&str]) -> (Output, String) {
+    let paths: Vec<String> = names
+        .iter()
+        .map(|n| fixture(n).to_string_lossy().into_owned())
+        .collect();
+    let args: Vec<&str> = paths.iter().map(String::as_str).collect();
+    let out = run(&args);
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    (out, stdout)
+}
+
+/// Count diagnostic lines for `rule` ("[rule]" tags in human output).
+fn count_rule(stdout: &str, rule: &str) -> usize {
+    stdout.matches(&format!("[{rule}]")).count()
+}
+
+#[test]
+fn panic_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["panics.rs"]);
+    assert_eq!(out.status.code(), Some(1), "diagnostics must exit 1");
+    assert_eq!(count_rule(&stdout, "panic"), 5, "stdout:\n{stdout}");
+    for line in [
+        "panics.rs:4:",
+        "panics.rs:8:",
+        "panics.rs:13:",
+        "panics.rs:20:",
+        "panics.rs:25:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    // unwrap_or and the #[cfg(test)] module must not be flagged.
+    assert!(
+        !stdout.contains("panics.rs:28:"),
+        "unwrap_or flagged:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("panics.rs:36:"),
+        "test mod flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn float_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["floats.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(count_rule(&stdout, "float-eq"), 2, "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "nan"), 2, "stdout:\n{stdout}");
+    // The partial_cmp().unwrap() chain is both a NaN sink and a panic site.
+    assert_eq!(count_rule(&stdout, "panic"), 1, "stdout:\n{stdout}");
+    for line in [
+        "floats.rs:4:",
+        "floats.rs:8:",
+        "floats.rs:12:",
+        "floats.rs:16:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    // The epsilon comparison must pass.
+    assert!(
+        !stdout.contains("floats.rs:20:"),
+        "epsilon compare flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn cast_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["casts.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(count_rule(&stdout, "cast"), 3, "stdout:\n{stdout}");
+    for line in ["casts.rs:4:", "casts.rs:8:", "casts.rs:12:"] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    // Widening u32 -> u64 is fine.
+    assert!(
+        !stdout.contains("casts.rs:16:"),
+        "widening cast flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn invariant_fixture_indexes_and_flags() {
+    let (out, stdout) = run_on_fixtures(&["invariants.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(count_rule(&stdout, "invariant"), 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("invariants.rs:9:"), "stdout:\n{stdout}");
+    assert!(stdout.contains("unchecked_invariant"), "stdout:\n{stdout}");
+    // Both annotations indexed, one backed by a debug_assert.
+    assert!(
+        stdout.contains("2 invariant(s) indexed (1 checked)"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn allow_suppression_and_lint_syntax() {
+    let (out, stdout) = run_on_fixtures(&["allowed.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    // The three justified allows fully suppress their sites...
+    assert!(
+        !stdout.contains("allowed.rs:6:"),
+        "suppressed unwrap flagged:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("allowed.rs:10:"),
+        "trailing allow ignored:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("allowed.rs:15:"),
+        "suppressed cast flagged:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("3 allow justification(s)"),
+        "stdout:\n{stdout}"
+    );
+    // ...while a reasonless allow and an unknown rule are themselves errors
+    // and do NOT suppress anything.
+    assert_eq!(count_rule(&stdout, "lint-syntax"), 2, "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "panic"), 2, "stdout:\n{stdout}");
+    for line in [
+        "allowed.rs:19:",
+        "allowed.rs:20:",
+        "allowed.rs:24:",
+        "allowed.rs:25:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let (out, stdout) = run_on_fixtures(&["clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn all_fixtures_total_count() {
+    let (out, stdout) = run_on_fixtures(&[
+        "panics.rs",
+        "floats.rs",
+        "casts.rs",
+        "invariants.rs",
+        "allowed.rs",
+        "clean.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.contains("19 diagnostic(s)"), "stdout:\n{stdout}");
+    assert!(stdout.contains("6 file(s) scanned"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let out = run(&["--workspace", "--root", &root.to_string_lossy()]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_eq!(out.status.code(), Some(0), "workspace not clean:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn json_report_is_emitted() {
+    let json_path =
+        std::env::temp_dir().join(format!("analyzer-fixture-{}.json", std::process::id()));
+    let panics = fixture("panics.rs");
+    let out = run(&[
+        "--json",
+        &json_path.to_string_lossy(),
+        &panics.to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.contains("\"version\": 1"), "json:\n{json}");
+    assert!(json.contains("\"rule\": \"panic\""), "json:\n{json}");
+    assert!(json.contains("\"line\": 4"), "json:\n{json}");
+    // Cheap well-formedness: balanced braces and brackets.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let both = run(&["--workspace", "some/file.rs"]);
+    assert_eq!(both.status.code(), Some(2));
+}

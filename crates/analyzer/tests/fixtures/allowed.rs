@@ -1,0 +1,26 @@
+//! Fixture: justified allows suppress diagnostics; malformed allows are
+//! themselves diagnosed under the `lint-syntax` rule.
+
+pub fn suppressed_unwrap(v: Option<u32>) -> u32 {
+    // lint: allow(panic, reason = "fixture: always Some in this scenario")
+    v.unwrap()
+}
+
+pub fn suppressed_trailing(x: f64) -> bool {
+    x == 0.25 // lint: allow(float-eq, reason = "fixture: exact sentinel")
+}
+
+pub fn suppressed_cast(x: u64) -> u32 {
+    // lint: allow(cast, reason = "fixture: value bounded by construction")
+    x as u32
+}
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // lint: allow(panic)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint: allow(frobnicate, reason = "no such rule")
+    v.unwrap()
+}

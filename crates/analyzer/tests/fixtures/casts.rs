@@ -1,0 +1,17 @@
+//! Fixture: lossy-cast violations at fixed lines.
+
+pub fn narrow_site(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn index_cast_site(v: &[f64], i: f64) -> f64 {
+    v[i as usize]
+}
+
+pub fn float_narrow_site(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn not_flagged(x: u32) -> u64 {
+    x as u64
+}

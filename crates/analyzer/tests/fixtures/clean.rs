@@ -1,0 +1,19 @@
+//! Fixture: violation-free code — the analyzer must exit 0 on this file.
+
+/// Total-order sort; no NaN-unsound comparator.
+pub fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v
+}
+
+/// INVARIANT: output length equals input length.
+pub fn doubled(v: &[u64]) -> Vec<u64> {
+    let out: Vec<u64> = v.iter().map(|x| x.saturating_mul(2)).collect();
+    debug_assert!(out.len() == v.len());
+    out
+}
+
+/// Fallible lookup instead of bare indexing.
+pub fn lookup(v: &[u64], i: usize) -> Option<u64> {
+    v.get(i).copied()
+}

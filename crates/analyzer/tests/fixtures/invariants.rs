@@ -1,0 +1,12 @@
+//! Fixture: invariant annotations, one checked and one unchecked.
+
+/// INVARIANT: `i` is always in bounds for `v`.
+pub fn checked_invariant(v: &[u32], i: usize) -> u32 {
+    debug_assert!(i < v.len());
+    *v.get(i).unwrap_or(&0)
+}
+
+/// INVARIANT: callers never pass an empty slice.
+pub fn unchecked_invariant(v: &[u32]) -> u32 {
+    *v.first().unwrap_or(&0)
+}

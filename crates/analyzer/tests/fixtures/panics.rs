@@ -1,0 +1,39 @@
+//! Fixture: one panic-rule violation per construct, at fixed lines.
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn panic_site(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn unreachable_site(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn index_site(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+pub fn not_flagged(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -9,7 +9,13 @@ fn scenarios() -> Vec<(String, Sample)> {
     [
         (TopologySpec::Nsfnet, "nsfnet14"),
         (TopologySpec::Geant2, "geant2_24"),
-        (TopologySpec::Synthetic { n: 50, topo_seed: 2019 }, "synth50"),
+        (
+            TopologySpec::Synthetic {
+                n: 50,
+                topo_seed: 2019,
+            },
+            "synth50",
+        ),
     ]
     .into_iter()
     .map(|(spec, name)| {

@@ -13,26 +13,36 @@ fn bench_train_step(c: &mut Criterion) {
     group.sample_size(10);
     for (spec, name) in [
         (TopologySpec::Nsfnet, "nsfnet14"),
-        (TopologySpec::Synthetic { n: 50, topo_seed: 2019 }, "synth50"),
+        (
+            TopologySpec::Synthetic {
+                n: 50,
+                topo_seed: 2019,
+            },
+            "synth50",
+        ),
     ] {
         let mut cfg = GenConfig::new(spec, 1, 3);
         cfg.sim.duration_s = 50.0;
         cfg.sim.warmup_s = 5.0;
         let sample = generate_sample(&cfg, 0);
-        group.bench_with_input(BenchmarkId::new("one_sample_epoch", name), &sample, |b, s| {
-            // One-epoch training on a single sample: forward + backward +
-            // optimizer step, including normalizer fit and compilation.
-            b.iter(|| {
-                let mut model = RouteNet::new(RouteNetConfig::default());
-                let cfg = TrainConfig {
-                    epochs: 1,
-                    batch_size: 1,
-                    keep_best: false,
-                    ..TrainConfig::default()
-                };
-                train(&mut model, std::slice::from_ref(s), &[], &cfg)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("one_sample_epoch", name),
+            &sample,
+            |b, s| {
+                // One-epoch training on a single sample: forward + backward +
+                // optimizer step, including normalizer fit and compilation.
+                b.iter(|| {
+                    let mut model = RouteNet::new(RouteNetConfig::default());
+                    let cfg = TrainConfig {
+                        epochs: 1,
+                        batch_size: 1,
+                        keep_best: false,
+                        ..TrainConfig::default()
+                    };
+                    train(&mut model, std::slice::from_ref(s), &[], &cfg)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -40,7 +50,8 @@ fn bench_train_step(c: &mut Criterion) {
 fn bench_simulator_throughput(c: &mut Criterion) {
     // One saturated link: measures raw event-processing rate.
     let mut g = Graph::new("1link", 2);
-    g.add_duplex(NodeId(0), NodeId(1), 1_000_000.0, 0.0).unwrap();
+    g.add_duplex(NodeId(0), NodeId(1), 1_000_000.0, 0.0)
+        .unwrap();
     let routing = shortest_path_routing(&g).unwrap();
     let mut tm = TrafficMatrix::zeros(2);
     tm.set_demand(NodeId(0), NodeId(1), 800_000.0); // 800 pps at 1000-bit pkts

@@ -47,7 +47,13 @@ fn main() {
         (TopologySpec::Nsfnet, "NSFNET"),
         (TopologySpec::Gbn, "GBN"),
         (TopologySpec::Geant2, "Geant2"),
-        (TopologySpec::Synthetic { n: 50, topo_seed: 2019 }, "Synth-50"),
+        (
+            TopologySpec::Synthetic {
+                n: 50,
+                topo_seed: 2019,
+            },
+            "Synth-50",
+        ),
     ] {
         let mut cfg = GenConfig::new(spec.clone(), 1, 5);
         cfg.sim.duration_s = duration;

@@ -34,9 +34,24 @@ fn main() {
 
     eprintln!("# generating finite-buffer datasets (K = {buffer} packets)...");
     let train_set = gen(TopologySpec::Nsfnet, samples, seed * 1_000_000, buffer);
-    let val_set = gen(TopologySpec::Nsfnet, samples / 6 + 1, seed * 1_000_000 + 500_000, buffer);
-    let eval_nsf = gen(TopologySpec::Nsfnet, samples / 2, seed * 1_000_000 + 600_000, buffer);
-    let eval_geant = gen(TopologySpec::Geant2, samples / 2, seed * 1_000_000 + 700_000, buffer);
+    let val_set = gen(
+        TopologySpec::Nsfnet,
+        samples / 6 + 1,
+        seed * 1_000_000 + 500_000,
+        buffer,
+    );
+    let eval_nsf = gen(
+        TopologySpec::Nsfnet,
+        samples / 2,
+        seed * 1_000_000 + 600_000,
+        buffer,
+    );
+    let eval_geant = gen(
+        TopologySpec::Geant2,
+        samples / 2,
+        seed * 1_000_000 + 700_000,
+        buffer,
+    );
 
     let mean_drop: f64 = train_set
         .iter()
@@ -49,7 +64,10 @@ fn main() {
         predict_drops: true,
         ..RouteNetConfig::default()
     });
-    eprintln!("# training RouteNet with drop head ({} outputs)...", model.out_dim());
+    eprintln!(
+        "# training RouteNet with drop head ({} outputs)...",
+        model.out_dim()
+    );
     train(
         &mut model,
         &train_set,

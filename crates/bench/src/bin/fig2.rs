@@ -31,7 +31,10 @@ fn main() {
     let mut xs = Vec::new(); // true
     let mut ys = Vec::new(); // predicted
     println!("# fig2: regression of predicted vs true per-path mean delay");
-    println!("# topology=Geant2 (unseen during training), intensity={:.3}", sample.intensity);
+    println!(
+        "# topology=Geant2 (unseen during training), intensity={:.3}",
+        sample.intensity
+    );
     println!("true_delay_s,predicted_delay_s");
     for (p, t) in preds.iter().zip(&sample.targets) {
         if t.delay_s > 0.0 {
@@ -51,7 +54,10 @@ fn main() {
     let intercept = my - slope * mx;
     let r2 = routenet_core::metrics::r_squared(&ys, &xs);
     let r = routenet_core::metrics::pearson(&ys, &xs);
-    eprintln!("# n={} slope={slope:.3} intercept={intercept:.4}s r={r:.4} R2={r2:.4}", xs.len());
+    eprintln!(
+        "# n={} slope={slope:.3} intercept={intercept:.4}s r={r:.4} R2={r2:.4}",
+        xs.len()
+    );
     eprintln!("# (ideal: slope 1.0, intercept 0.0 — points on the diagonal)");
     let pts: Vec<(f64, f64)> = xs.iter().cloned().zip(ys.iter().cloned()).collect();
     eprintln!("# predicted (y) vs simulated (x) delay, seconds; '.' = ideal diagonal");

@@ -43,7 +43,10 @@ fn main() {
             for (x, f) in cdf_points(&re, points) {
                 println!("{model_name}/{name},{x:.6},{f:.4}");
             }
-            eprintln!("{}", summary_row(&format!("{model_name} {name}"), &ev.delay_summary()));
+            eprintln!(
+                "{}",
+                summary_row(&format!("{model_name} {name}"), &ev.delay_summary())
+            );
         }
     }
 
@@ -53,8 +56,10 @@ fn main() {
     let qa = collect_predictions(&mm1, &exp.data.eval_geant2);
     let qa_cdf = cdf_points(&relative_errors(&qa.delay_pred, &qa.delay_true), 50);
     eprintln!("# CDF of relative delay error on UNSEEN Geant2 (right = worse):");
-    eprint!("{}", routenet_bench::plot::cdf_chart(
-        &[("RouteNet", &rn_cdf), ("M/M/1", &qa_cdf)], 60, 16));
+    eprint!(
+        "{}",
+        routenet_bench::plot::cdf_chart(&[("RouteNet", &rn_cdf), ("M/M/1", &qa_cdf)], 60, 16)
+    );
 
     // The paper's figure aggregates all three topologies; emit that too.
     let all = exp.data.eval_all();

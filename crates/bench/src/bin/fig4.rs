@@ -29,7 +29,10 @@ fn main() {
     let top = top_n_paths_by_delay(&exp.model, sample, top_n);
 
     println!("# fig4: Top-{top_n} paths with more (predicted) delay");
-    println!("# topology=Geant2 (unseen), intensity={:.3}", sample.intensity);
+    println!(
+        "# topology=Geant2 (unseen), intensity={:.3}",
+        sample.intensity
+    );
     println!("rank,src,dst,predicted_delay_ms,simulated_delay_ms,hops,route");
     for (rank, (s, d, pred, truth)) in top.iter().enumerate() {
         let (s, d) = (NodeId(*s), NodeId(*d));
@@ -60,7 +63,7 @@ fn main() {
         .enumerate()
         .map(|(i, t)| (i, t.delay_s))
         .collect();
-    by_truth.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    by_truth.sort_by(|a, b| b.1.total_cmp(&a.1));
     let truth_top: std::collections::HashSet<usize> =
         by_truth.iter().take(top_n).map(|(i, _)| *i).collect();
     let pairs = sample.scenario.pairs();

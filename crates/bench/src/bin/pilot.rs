@@ -26,8 +26,14 @@ fn main() {
     ] {
         let rn = collect_predictions(&exp.model, set);
         let qa = collect_predictions(&mm1, set);
-        println!("{}", summary_row(&format!("RouteNet {name}"), &rn.delay_summary()));
-        println!("{}", summary_row(&format!("M/M/1    {name}"), &qa.delay_summary()));
+        println!(
+            "{}",
+            summary_row(&format!("RouteNet {name}"), &rn.delay_summary())
+        );
+        println!(
+            "{}",
+            summary_row(&format!("M/M/1    {name}"), &qa.delay_summary())
+        );
     }
     println!(
         "# gen {:.1}s  train {:.1}s  ({} train samples, {} epochs)",

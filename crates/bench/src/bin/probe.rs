@@ -9,26 +9,46 @@ use routenet_simnet::sim::{ArrivalProcess, SizeDistribution};
 fn main() {
     let mm1 = Mm1Baseline::default();
     let configs: Vec<(&str, ArrivalProcess, SizeDistribution)> = vec![
-        ("poisson+exp (M/M/1 exact)", ArrivalProcess::Poisson, SizeDistribution::Exponential),
-        ("poisson+det (M/D/1)", ArrivalProcess::Poisson, SizeDistribution::Deterministic),
+        (
+            "poisson+exp (M/M/1 exact)",
+            ArrivalProcess::Poisson,
+            SizeDistribution::Exponential,
+        ),
+        (
+            "poisson+det (M/D/1)",
+            ArrivalProcess::Poisson,
+            SizeDistribution::Deterministic,
+        ),
         (
             "onoff(2,2)+exp",
-            ArrivalProcess::OnOff { on_mean_s: 2.0, off_mean_s: 2.0 },
+            ArrivalProcess::OnOff {
+                on_mean_s: 2.0,
+                off_mean_s: 2.0,
+            },
             SizeDistribution::Exponential,
         ),
         (
             "onoff(10,10)+exp",
-            ArrivalProcess::OnOff { on_mean_s: 10.0, off_mean_s: 10.0 },
+            ArrivalProcess::OnOff {
+                on_mean_s: 10.0,
+                off_mean_s: 10.0,
+            },
             SizeDistribution::Exponential,
         ),
         (
             "onoff(10,10)+det",
-            ArrivalProcess::OnOff { on_mean_s: 10.0, off_mean_s: 10.0 },
+            ArrivalProcess::OnOff {
+                on_mean_s: 10.0,
+                off_mean_s: 10.0,
+            },
             SizeDistribution::Deterministic,
         ),
         (
             "onoff(5,20)+det (peaky)",
-            ArrivalProcess::OnOff { on_mean_s: 5.0, off_mean_s: 20.0 },
+            ArrivalProcess::OnOff {
+                on_mean_s: 5.0,
+                off_mean_s: 20.0,
+            },
             SizeDistribution::Deterministic,
         ),
     ];

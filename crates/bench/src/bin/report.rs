@@ -96,11 +96,19 @@ fn main() {
             for (x, f) in cdf_points(&re, 50) {
                 writeln!(s, "{pname}/{name},{x:.6},{f:.4}").unwrap();
             }
-            writeln!(summaries, "{}", summary_row(&format!("{pname} {name}"), &ev.delay_summary()))
-                .unwrap();
+            writeln!(
+                summaries,
+                "{}",
+                summary_row(&format!("{pname} {name}"), &ev.delay_summary())
+            )
+            .unwrap();
             if let Some(j) = ev.jitter_summary() {
-                writeln!(summaries, "{}", summary_row(&format!("{pname} {name} [jitter]"), &j))
-                    .unwrap();
+                writeln!(
+                    summaries,
+                    "{}",
+                    summary_row(&format!("{pname} {name} [jitter]"), &j)
+                )
+                .unwrap();
             }
         }
     }
@@ -186,7 +194,11 @@ fn main() {
             }
         }
     }
-    writeln!(s, "\nFNN n/a = fixed-input model cannot be applied to other topologies.").unwrap();
+    writeln!(
+        s,
+        "\nFNN n/a = fixed-input model cannot be applied to other topologies."
+    )
+    .unwrap();
     write(&out_dir.join("table1.txt"), &s);
 
     // ---- summary ---------------------------------------------------------
@@ -201,8 +213,17 @@ fn main() {
     )
     .unwrap();
     writeln!(s, "model parameters: {}", exp.model.n_parameters()).unwrap();
-    writeln!(s, "best epoch {} val loss {:.5}", exp.report.best_epoch, exp.report.best_loss).unwrap();
-    writeln!(s, "fig2 (unseen Geant2 sample): r={fig2_r:.4} R2={fig2_r2:.4}").unwrap();
+    writeln!(
+        s,
+        "best epoch {} val loss {:.5}",
+        exp.report.best_epoch, exp.report.best_loss
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "fig2 (unseen Geant2 sample): r={fig2_r:.4} R2={fig2_r2:.4}"
+    )
+    .unwrap();
     writeln!(s, "\nper-topology summaries:\n{summaries}").unwrap();
     write(&out_dir.join("summary.txt"), &s);
     println!("{s}");

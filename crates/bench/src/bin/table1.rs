@@ -40,7 +40,9 @@ fn main() {
     let mm1 = Mm1Baseline::default();
     let mg1 = Mg1Baseline::default(); // knows the true (deterministic) size distribution
 
-    println!("# table1: per-topology delay/jitter accuracy (median / p95 relative error, Pearson r)");
+    println!(
+        "# table1: per-topology delay/jitter accuracy (median / p95 relative error, Pearson r)"
+    );
     println!(
         "{:<20} {:<10} {:>8} {:>10} {:>10} {:>8} {:>12} {:>12}",
         "eval set", "predictor", "n", "medRE", "p95RE", "r", "jit medRE", "jit r"
@@ -90,8 +92,16 @@ fn main() {
     println!(
         "# train: {} samples ({} NSFNET + {} Synth-50), {} epochs, gen {:.1}s, train {:.1}s",
         exp.data.train.len(),
-        exp.data.train.iter().filter(|s| s.topology == "NSFNET").count(),
-        exp.data.train.iter().filter(|s| s.topology != "NSFNET").count(),
+        exp.data
+            .train
+            .iter()
+            .filter(|s| s.topology == "NSFNET")
+            .count(),
+        exp.data
+            .train
+            .iter()
+            .filter(|s| s.topology != "NSFNET")
+            .count(),
         train_cfg.epochs,
         exp.gen_seconds,
         exp.train_seconds

@@ -34,7 +34,10 @@ fn main() {
     for n in [10usize, 20, 30, 40, 50] {
         // New graph per size: topo_seed differs from the training topology.
         let mut cfg = GenConfig::new(
-            TopologySpec::Synthetic { n, topo_seed: 777_000 + n as u64 },
+            TopologySpec::Synthetic {
+                n,
+                topo_seed: 777_000 + n as u64,
+            },
             per_size,
             900_000 + n as u64,
         );
@@ -45,12 +48,7 @@ fn main() {
         let qa = collect_predictions(&mm1, &set).delay_summary();
         println!(
             "{n},{},{},{:.4},{:.4},{:.4},{:.4}",
-            per_size,
-            rn.n,
-            rn.median_re,
-            rn.pearson_r,
-            qa.median_re,
-            qa.pearson_r
+            per_size, rn.n, rn.median_re, rn.pearson_r, qa.median_re, qa.pearson_r
         );
     }
     println!("# expected shape: RouteNet's median error stays flat-ish across sizes");

@@ -67,7 +67,9 @@ impl Args {
 
     /// Parse a flag as `T`, falling back to `default`.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 

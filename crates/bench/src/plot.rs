@@ -15,13 +15,15 @@ pub fn scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
         lo = lo.min(x).min(y);
         hi = hi.max(x).max(y);
     }
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         hi = lo + 1.0;
     }
     let pad = (hi - lo) * 0.03;
     let (lo, hi) = (lo - pad, hi + pad);
     let mut grid = vec![vec![b' '; width]; height];
-    // Diagonal y = x.
+    // Diagonal y = x. The row index depends on the column, so this cannot
+    // be an iterator chain over `grid`.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..width {
         let x = lo + (hi - lo) * (c as f64 + 0.5) / width as f64;
         let r = ((hi - x) / (hi - lo) * height as f64) as usize;
@@ -51,6 +53,7 @@ pub fn scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
             "          |".to_string()
         };
         out.push_str(&label);
+        // lint: allow(panic, reason = "grid cells only ever hold ASCII glyphs written by this module")
         out.push_str(std::str::from_utf8(row).expect("ascii"));
         out.push('\n');
     }
@@ -95,12 +98,22 @@ pub fn cdf_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) 
     for (i, row) in grid.iter().enumerate() {
         let frac = 1.0 - i as f64 / (height - 1) as f64;
         out.push_str(&format!("{frac:5.2} |"));
+        // lint: allow(panic, reason = "grid cells only ever hold ASCII glyphs written by this module")
         out.push_str(std::str::from_utf8(row).expect("ascii"));
         out.push('\n');
     }
-    out.push_str(&format!("      +{}\n       0{:>w$.2}\n", "-".repeat(width), xmax, w = width - 1));
+    out.push_str(&format!(
+        "      +{}\n       0{:>w$.2}\n",
+        "-".repeat(width),
+        xmax,
+        w = width - 1
+    ));
     for (si, (name, _)) in series.iter().enumerate() {
-        out.push_str(&format!("       {} = {}\n", glyphs[si % glyphs.len()] as char, name));
+        out.push_str(&format!(
+            "       {} = {}\n",
+            glyphs[si % glyphs.len()] as char,
+            name
+        ));
     }
     out
 }
@@ -134,8 +147,12 @@ mod tests {
 
     #[test]
     fn cdf_chart_draws_all_series() {
-        let a: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 0.01, i as f64 / 19.0)).collect();
-        let b: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 0.03, i as f64 / 19.0)).collect();
+        let a: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 0.01, i as f64 / 19.0))
+            .collect();
+        let b: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 0.03, i as f64 / 19.0))
+            .collect();
         let s = cdf_chart(&[("fast", &a), ("slow", &b)], 50, 14);
         assert!(s.contains('o'));
         assert!(s.contains('x'));

@@ -354,10 +354,18 @@ mod tests {
                 let targets = net
                     .predict_all(&routing)
                     .into_iter()
-                    .map(|p| TargetKpi { delay_s: p.mean_delay_s, jitter_s2: p.jitter_s2, drop_prob: 0.0 })
+                    .map(|p| TargetKpi {
+                        delay_s: p.mean_delay_s,
+                        jitter_s2: p.jitter_s2,
+                        drop_prob: 0.0,
+                    })
                     .collect();
                 Sample {
-                    scenario: Scenario { graph: g.clone(), routing: routing.clone(), traffic: tm },
+                    scenario: Scenario {
+                        graph: g.clone(),
+                        routing: routing.clone(),
+                        traffic: tm,
+                    },
                     targets,
                     topology: "Ring-4".into(),
                     intensity: 0.5,
@@ -388,7 +396,11 @@ mod tests {
         let routing = shortest_path_routing(&g).unwrap();
         let mut tm = TrafficMatrix::zeros(4);
         tm.set_demand(NodeId(0), NodeId(1), 1e9); // way over capacity
-        let sc = Scenario { graph: g, routing, traffic: tm };
+        let sc = Scenario {
+            graph: g,
+            routing,
+            traffic: tm,
+        };
         let preds = Mm1Baseline::default().predict(&sc);
         assert!(preds.iter().all(|p| p.delay_s.is_finite()));
         assert!(preds.iter().any(|p| p.delay_s == 1e6));
@@ -467,16 +479,26 @@ mod tests {
         let samples = mm1_samples(4, 7);
         let fnn = FnnBaseline::train(
             &samples,
-            &FnnConfig { epochs: 1, ..FnnConfig::default() },
+            &FnnConfig {
+                epochs: 1,
+                ..FnnConfig::default()
+            },
         );
         // Build a 5-node scenario: different pair count.
         let g = generate::ring(5);
         let routing = shortest_path_routing(&g).unwrap();
         let traffic = TrafficMatrix::zeros(5);
-        let sc = Scenario { graph: g, routing, traffic };
+        let sc = Scenario {
+            graph: g,
+            routing,
+            traffic,
+        };
         assert!(!fnn.supports(&sc));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fnn.predict(&sc)));
-        assert!(result.is_err(), "predict on unsupported topology must panic");
+        assert!(
+            result.is_err(),
+            "predict on unsupported topology must panic"
+        );
     }
 
     #[test]
@@ -487,7 +509,11 @@ mod tests {
         let routing = shortest_path_routing(&g).unwrap();
         let traffic = TrafficMatrix::zeros(6);
         samples.push(Sample {
-            scenario: Scenario { graph: g, routing, traffic },
+            scenario: Scenario {
+                graph: g,
+                routing,
+                traffic,
+            },
             targets: vec![],
             topology: "Ring-6".into(),
             intensity: 0.1,

@@ -60,7 +60,10 @@ impl PairedEval {
             .map(|(p, t)| (p - t).abs())
             .sum::<f64>()
             / self.drop_pred.len() as f64;
-        Some((mae, crate::metrics::pearson(&self.drop_pred, &self.drop_true)))
+        Some((
+            mae,
+            crate::metrics::pearson(&self.drop_pred, &self.drop_true),
+        ))
     }
 
     /// Append another evaluation's observations.
@@ -139,7 +142,7 @@ pub fn top_n_paths_by_delay(
         .zip(sample.targets.iter())
         .map(|(((s, d), p), t)| (s.0, d.0, p.delay_s, t.delay_s))
         .collect();
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite predictions"));
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     rows.truncate(n);
     rows
 }
@@ -149,8 +152,8 @@ mod tests {
     use super::*;
     use crate::baseline::Mm1Baseline;
     use crate::sample::{Scenario, TargetKpi};
-    use routenet_netgraph::routing::shortest_path_routing;
     use routenet_netgraph::generate;
+    use routenet_netgraph::routing::shortest_path_routing;
     use routenet_simnet::queueing::Mm1Network;
 
     fn sample_with_topology(name: &str, seed: u64) -> Sample {
@@ -169,10 +172,18 @@ mod tests {
         let targets = net
             .predict_all(&routing)
             .into_iter()
-            .map(|p| TargetKpi { delay_s: p.mean_delay_s, jitter_s2: p.jitter_s2, drop_prob: 0.0 })
+            .map(|p| TargetKpi {
+                delay_s: p.mean_delay_s,
+                jitter_s2: p.jitter_s2,
+                drop_prob: 0.0,
+            })
             .collect();
         Sample {
-            scenario: Scenario { graph: g, routing, traffic: tm },
+            scenario: Scenario {
+                graph: g,
+                routing,
+                traffic: tm,
+            },
             targets,
             topology: name.into(),
             intensity: 0.4,

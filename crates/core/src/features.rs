@@ -206,8 +206,19 @@ mod tests {
         traffic.set_demand(NodeId(3), NodeId(9), 4_000.0);
         let n = routing.n_pairs();
         Sample {
-            scenario: Scenario { graph: g, routing, traffic },
-            targets: vec![TargetKpi { delay_s: delay, jitter_s2: delay * delay, drop_prob: 0.0 }; n],
+            scenario: Scenario {
+                graph: g,
+                routing,
+                traffic,
+            },
+            targets: vec![
+                TargetKpi {
+                    delay_s: delay,
+                    jitter_s2: delay * delay,
+                    drop_prob: 0.0
+                };
+                n
+            ],
             topology: "NSFNET".into(),
             intensity: 0.5,
             seed: 0,
@@ -231,7 +242,11 @@ mod tests {
         let lf = norm.link_features(&s.scenario);
         assert_eq!(lf.shape(), (42, 2));
         // all capacities equal the scale => feature 1.0
-        assert!(lf.data().iter().step_by(2).all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(lf
+            .data()
+            .iter()
+            .step_by(2)
+            .all(|&x| (x - 1.0).abs() < 1e-12));
         let pf = norm.path_features(&s.scenario);
         assert_eq!(pf.shape(), (14 * 13, 1));
         // exactly two non-zero demands
@@ -243,7 +258,11 @@ mod tests {
     fn normalize_denormalize_roundtrip() {
         let samples = vec![sample(0.1), sample(0.5), sample(0.9)];
         let norm = Normalizer::fit(&samples);
-        let t = TargetKpi { delay_s: 0.42, jitter_s2: 0.05, drop_prob: 0.0 };
+        let t = TargetKpi {
+            delay_s: 0.42,
+            jitter_s2: 0.05,
+            drop_prob: 0.0,
+        };
         let z = norm.normalize_targets(&[t]);
         let back = norm.denormalize(z.get(0, 0), z.get(0, 1));
         assert!((back.delay_s - t.delay_s).abs() < 1e-12);
@@ -266,7 +285,11 @@ mod tests {
     #[test]
     fn default_is_identity() {
         let norm = Normalizer::default();
-        let t = TargetKpi { delay_s: 1.5, jitter_s2: 2.5, drop_prob: 0.0 };
+        let t = TargetKpi {
+            delay_s: 1.5,
+            jitter_s2: 2.5,
+            drop_prob: 0.0,
+        };
         let z = norm.normalize_targets(&[t]);
         assert_eq!(z.get(0, 0), 1.5);
         assert_eq!(z.get(0, 1), 2.5);

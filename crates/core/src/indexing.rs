@@ -111,7 +111,11 @@ mod tests {
         let g = nsfnet();
         let routing = shortest_path_routing(&g).unwrap();
         let traffic = TrafficMatrix::zeros(g.n_nodes());
-        let sc = Scenario { graph: g, routing, traffic };
+        let sc = Scenario {
+            graph: g,
+            routing,
+            traffic,
+        };
         PathTensors::build(&sc)
     }
 
@@ -162,8 +166,8 @@ mod tests {
         let t = tensors();
         for k in 0..t.max_len {
             let mask = t.active_mask(k);
-            for p in 0..t.n_paths {
-                assert_eq!(mask[p], t.path_len[p] > k, "path {p} pos {k}");
+            for (p, &m) in mask.iter().enumerate() {
+                assert_eq!(m, t.path_len[p] > k, "path {p} pos {k}");
             }
         }
     }

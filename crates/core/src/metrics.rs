@@ -56,7 +56,7 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&q));
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let pos = q / 100.0 * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -149,7 +149,7 @@ pub fn evaluate(preds: &[f64], truths: &[f64]) -> EvalSummary {
 pub fn cdf_points(xs: &[f64], n_points: usize) -> Vec<(f64, f64)> {
     assert!(!xs.is_empty() && n_points >= 2);
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.sort_by(|a, b| a.total_cmp(b));
     (0..n_points)
         .map(|i| {
             let q = i as f64 / (n_points - 1) as f64;

@@ -124,7 +124,12 @@ impl RouteNet {
         let readout = Mlp::new(
             &mut store,
             "readout",
-            &[config.path_state_dim, config.readout_hidden, config.readout_hidden, out_dim],
+            &[
+                config.path_state_dim,
+                config.readout_hidden,
+                config.readout_hidden,
+                out_dim,
+            ],
             Activation::Relu,
             Activation::Linear,
             &mut rng,
@@ -211,6 +216,7 @@ impl RouteNet {
             .map(|k| {
                 let active = tensors.active_mask(k);
                 Tensor::from_fn(tensors.n_paths, self.config.path_state_dim, |r, _| {
+                    // lint: allow(panic, reason = "active_mask returns one flag per path row, r < n_paths")
                     if active[r] {
                         0.0
                     } else {
@@ -239,13 +245,12 @@ impl RouteNet {
             // Accumulate messages into per-link inboxes as we go.
             let mut link_inbox: Option<Var> = None;
             for k in 0..idx.max_len {
-                let pos = &idx.positions[k];
-                let x = sess
-                    .tape
-                    .gather_rows(link_state, pos.link_idx.clone());
+                let pos = &idx.positions[k]; // lint: allow(panic, reason = "positions holds max_len entries, k < max_len")
+                let x = sess.tape.gather_rows(link_state, pos.link_idx.clone());
                 let h = sess.tape.gather_rows(path_state, pos.path_idx.clone());
                 let h_new = self.path_cell.step(sess, x, h);
                 // Replace the active rows of the path state.
+                // lint: allow(panic, reason = "keep_masks is built with max_len entries in compile, k < max_len")
                 let kept = sess.tape.mul_const(path_state, &compiled.keep_masks[k]);
                 let scattered =
                     sess.tape
@@ -311,6 +316,7 @@ impl RouteNet {
             readout: self.readout.clone(),
             norm: self.norm.clone(),
         };
+        // lint: allow(panic, reason = "in-memory numeric data always serializes; f64 is emitted as a literal")
         serde_json::to_string(&ckpt).expect("checkpoint serializes")
     }
 
@@ -379,7 +385,11 @@ mod tests {
         for (s, d) in g.node_pairs() {
             traffic.set_demand(s, d, 100.0 + 10.0 * (s.0 + d.0) as f64);
         }
-        Scenario { graph: g, routing, traffic }
+        Scenario {
+            graph: g,
+            routing,
+            traffic,
+        }
     }
 
     #[test]
@@ -405,7 +415,10 @@ mod tests {
 
     #[test]
     fn delay_only_head() {
-        let cfg = RouteNetConfig { predict_jitter: false, ..tiny_config() };
+        let cfg = RouteNetConfig {
+            predict_jitter: false,
+            ..tiny_config()
+        };
         let model = tiny_model(cfg);
         assert_eq!(model.out_dim(), 1);
         let preds = model.predict_scenario(&scenario());
@@ -422,7 +435,10 @@ mod tests {
         for (x, y) in pa.iter().zip(&pb) {
             assert_eq!(x.delay_s, y.delay_s);
         }
-        let c = tiny_model(RouteNetConfig { seed: 99, ..tiny_config() });
+        let c = tiny_model(RouteNetConfig {
+            seed: 99,
+            ..tiny_config()
+        });
         let pc = c.predict_scenario(&sc);
         assert!(pa.iter().zip(&pc).any(|(x, y)| x.delay_s != y.delay_s));
     }
@@ -502,7 +518,11 @@ mod tests {
             for (s, d) in g.node_pairs() {
                 traffic.set_demand(s, d, 500.0);
             }
-            let sc = Scenario { graph: g, routing, traffic };
+            let sc = Scenario {
+                graph: g,
+                routing,
+                traffic,
+            };
             let preds = model.predict_scenario(&sc);
             assert_eq!(preds.len(), n * (n - 1));
             assert!(preds.iter().all(|p| p.delay_s.is_finite()));

@@ -58,7 +58,9 @@ impl Scenario {
                 self.graph.n_nodes()
             ));
         }
-        self.routing.validate(&self.graph).map_err(|e| e.to_string())
+        self.routing
+            .validate(&self.graph)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -144,7 +146,11 @@ mod tests {
         let routing = shortest_path_routing(&g).unwrap();
         let mut traffic = TrafficMatrix::zeros(g.n_nodes());
         traffic.set_demand(NodeId(0), NodeId(5), 1_000.0);
-        Scenario { graph: g, routing, traffic }
+        Scenario {
+            graph: g,
+            routing,
+            traffic,
+        }
     }
 
     #[test]
@@ -168,7 +174,14 @@ mod tests {
         let n = sc.n_pairs();
         let mut sample = Sample {
             scenario: sc,
-            targets: vec![TargetKpi { delay_s: 0.1, jitter_s2: 0.01, drop_prob: 0.0 }; n],
+            targets: vec![
+                TargetKpi {
+                    delay_s: 0.1,
+                    jitter_s2: 0.01,
+                    drop_prob: 0.0
+                };
+                n
+            ],
             topology: "NSFNET".into(),
             intensity: 0.5,
             seed: 1,
@@ -184,7 +197,14 @@ mod tests {
         let n = sc.n_pairs();
         let mut sample = Sample {
             scenario: sc,
-            targets: vec![TargetKpi { delay_s: 0.1, jitter_s2: 0.01, drop_prob: 0.0 }; n],
+            targets: vec![
+                TargetKpi {
+                    delay_s: 0.1,
+                    jitter_s2: 0.01,
+                    drop_prob: 0.0
+                };
+                n
+            ],
             topology: "NSFNET".into(),
             intensity: 0.5,
             seed: 1,
@@ -202,7 +222,14 @@ mod tests {
         let n = sc.n_pairs();
         let sample = Sample {
             scenario: sc,
-            targets: vec![TargetKpi { delay_s: 0.2, jitter_s2: 0.02, drop_prob: 0.0 }; n],
+            targets: vec![
+                TargetKpi {
+                    delay_s: 0.2,
+                    jitter_s2: 0.02,
+                    drop_prob: 0.0
+                };
+                n
+            ],
             topology: "NSFNET".into(),
             intensity: 0.4,
             seed: 9,

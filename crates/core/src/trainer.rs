@@ -107,7 +107,12 @@ struct Item {
     col_weights: Tensor,
 }
 
-fn compile_items(model: &RouteNet, samples: &[Sample], jitter_weight: f64, drop_weight: f64) -> Vec<Item> {
+fn compile_items(
+    model: &RouteNet,
+    samples: &[Sample],
+    jitter_weight: f64,
+    drop_weight: f64,
+) -> Vec<Item> {
     let out_dim = model.out_dim();
     let jitter_col = model.jitter_col();
     let drop_col = model.drop_col();
@@ -123,6 +128,7 @@ fn compile_items(model: &RouteNet, samples: &[Sample], jitter_weight: f64, drop_
             // saw no packet): mask them out of the loss entirely.
             let observed: Vec<bool> = s.targets.iter().map(|t| t.delay_s > 0.0).collect();
             let target = Tensor::from_fn(n, out_dim, |r, c| {
+                // lint: allow(panic, reason = "r < n == targets.len() == observed.len()")
                 if !observed[r] {
                     0.0
                 } else if c == 0 {
@@ -131,10 +137,11 @@ fn compile_items(model: &RouteNet, samples: &[Sample], jitter_weight: f64, drop_
                     z.get(r, 1) * jw
                 } else {
                     // Drop head: raw probability (already in [0, 1]).
-                    s.targets[r].drop_prob * dw
+                    s.targets[r].drop_prob * dw // lint: allow(panic, reason = "r < n == targets.len()")
                 }
             });
             let col_weights = Tensor::from_fn(n, out_dim, |r, c| {
+                // lint: allow(panic, reason = "r < n == targets.len() == observed.len()")
                 if !observed[r] {
                     0.0
                 } else if c == 0 {
@@ -154,12 +161,15 @@ fn compile_items(model: &RouteNet, samples: &[Sample], jitter_weight: f64, drop_
         .collect()
 }
 
+/// INVARIANT: the loss scalar stays finite — inputs are normalized and the
+/// tape asserts finiteness of every node value in debug builds.
 fn item_loss(model: &RouteNet, item: &Item) -> (f64, Vec<(routenet_nn::ParamId, Tensor)>) {
     let mut sess = Session::new(model.store());
     let out = model.forward(&mut sess, &item.compiled);
     let weighted = sess.tape.mul_const(out, &item.col_weights);
     let loss = sess.tape.mse(weighted, &item.target);
     let loss_val = sess.tape.value(loss).get(0, 0);
+    debug_assert!(loss_val.is_finite(), "non-finite training loss");
     let grads = sess.tape.backward(loss);
     let pg = sess.param_grads(&grads);
     (loss_val, pg)
@@ -184,12 +194,15 @@ fn batch_losses(
     threads: usize,
 ) -> Vec<(f64, Vec<(routenet_nn::ParamId, Tensor)>)> {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
     let workers = threads.min(chunk.len());
     if workers <= 1 {
+        // lint: allow(panic, reason = "chunk indices are minted from 0..items.len() by the batch scheduler")
         return chunk.iter().map(|&i| item_loss(model, &items[i])).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -204,13 +217,14 @@ fn batch_losses(
                     if k >= chunk.len() {
                         break;
                     }
+                    // lint: allow(panic, reason = "k < chunk.len() checked above; chunk indices minted from 0..items.len()")
                     tx.send((k, item_loss(model, &items[chunk[k]])))
-                        .expect("collector alive");
+                        .expect("collector alive"); // lint: allow(panic, reason = "receiver outlives the scope; it is dropped after join")
                 }
             });
         }
     })
-    .expect("training workers do not panic");
+    .expect("training workers do not panic"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
     drop(tx);
     let mut out: Vec<(usize, _)> = rx.into_iter().collect();
     out.sort_by_key(|(k, _)| *k);
@@ -329,8 +343,8 @@ mod tests {
     use super::*;
     use crate::model::RouteNetConfig;
     use crate::sample::{Scenario, TargetKpi};
-    use routenet_netgraph::routing::shortest_path_routing;
     use routenet_netgraph::generate;
+    use routenet_netgraph::routing::shortest_path_routing;
     use routenet_simnet::queueing::Mm1Network;
 
     /// Tiny synthetic dataset whose labels come from the M/M/1 model — fast
@@ -401,10 +415,7 @@ mod tests {
         assert_eq!(report.epochs.len(), 12);
         let first = report.epochs.first().unwrap().train_loss;
         let last = report.epochs.last().unwrap().train_loss;
-        assert!(
-            last < first * 0.5,
-            "loss did not halve: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
         //
 
         // After training on MM1 labels, predictions should correlate with
@@ -440,8 +451,11 @@ mod tests {
         let report = train(&mut model, &data[..6], &data[6..], &cfg);
         // The restored parameters must reproduce the best validation loss.
         let items = compile_items(&model, &data[6..], cfg.jitter_weight, cfg.drop_weight);
-        let val: f64 =
-            items.iter().map(|it| item_loss_value(&model, it)).sum::<f64>() / items.len() as f64;
+        let val: f64 = items
+            .iter()
+            .map(|it| item_loss_value(&model, it))
+            .sum::<f64>()
+            / items.len() as f64;
         assert!(
             (val - report.best_loss).abs() < 1e-9,
             "restored val {val} != best {}",

@@ -33,7 +33,11 @@ fn random_scenario(n: usize, seed: u64) -> Scenario {
     for (s, d) in graph.node_pairs() {
         traffic.set_demand(s, d, 100.0 + 900.0 * rand::Rng::gen::<f64>(&mut rng));
     }
-    Scenario { graph, routing, traffic }
+    Scenario {
+        graph,
+        routing,
+        traffic,
+    }
 }
 
 /// Apply a node permutation to a scenario: relabel nodes, re-add links in
@@ -48,7 +52,7 @@ fn permute_scenario(sc: &Scenario, perm: &[usize]) -> Scenario {
         .links()
         .map(|(_, l)| (perm[l.src.0], perm[l.dst.0], l.capacity_bps, l.prop_delay_s))
         .collect();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|e| (e.0, e.1));
     for (s, d, cap, pd) in edges {
         graph.add_link(NodeId(s), NodeId(d), cap, pd).unwrap();
     }
@@ -74,7 +78,11 @@ fn permute_scenario(sc: &Scenario, perm: &[usize]) -> Scenario {
             traffic.set_demand(NodeId(perm[s.0]), NodeId(perm[d.0]), v);
         }
     }
-    Scenario { graph, routing, traffic }
+    Scenario {
+        graph,
+        routing,
+        traffic,
+    }
 }
 
 proptest! {

@@ -7,9 +7,7 @@
 //!     [--intensity-max 0.8] [--duration 800] [--synth-nodes 50]
 //! ```
 
-use routenet_dataset::gen::{
-    generate_dataset, GenConfig, RoutingDiversity, TopologySpec,
-};
+use routenet_dataset::gen::{generate_dataset, GenConfig, RoutingDiversity, TopologySpec};
 use routenet_dataset::io::save_jsonl;
 
 fn flag(argv: &[String], key: &str) -> Option<String> {
@@ -38,7 +36,9 @@ fn main() {
     let samples: usize = flag(&argv, "samples")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
-    let seed: u64 = flag(&argv, "seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let seed: u64 = flag(&argv, "seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let out = flag(&argv, "out").unwrap_or_else(|| "dataset.jsonl".into());
 
     let mut cfg = GenConfig::new(topology, samples, seed);
@@ -68,7 +68,10 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let ds = generate_dataset(&cfg);
-    eprintln!("generated in {:.1}s, writing {out}", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "generated in {:.1}s, writing {out}",
+        t0.elapsed().as_secs_f64()
+    );
     save_jsonl(&out, &ds).unwrap_or_else(|e| {
         eprintln!("failed to write {out}: {e}");
         std::process::exit(1);

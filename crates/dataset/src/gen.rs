@@ -165,17 +165,21 @@ pub fn generate_sample(cfg: &GenConfig, i: usize) -> Sample {
             let ids: Vec<_> = pg.links().map(|(id, _)| id).collect();
             for id in ids {
                 let f = 1.0 + rand::Rng::gen::<f64>(&mut rng) * spread;
-                pg.link_mut(id).expect("valid id").weight *= f;
+                pg.adj_link_mut(id).weight *= f;
             }
             // Build on perturbed weights, then re-express on the original
             // graph (identical structure, so paths transfer verbatim).
             destination_based_routing(&pg)
         }
     }
-    .expect("zoo/generator topologies are strongly connected");
+    .expect("zoo/generator topologies are strongly connected"); // lint: allow(panic, reason = "generator only emits strongly connected graphs; routing cannot fail")
     let intensity = rng.gen_range(cfg.intensity_min..=cfg.intensity_max);
     let traffic = sample_traffic_matrix(&graph, &routing, &cfg.traffic, intensity, &mut rng);
-    let sim_cfg = SimConfig { seed, ..cfg.sim.clone() };
+    let sim_cfg = SimConfig {
+        seed,
+        ..cfg.sim.clone()
+    };
+    // lint: allow(panic, reason = "config built from validated GenConfig fields; a rejection is a generator bug")
     let result = simulate(&graph, &routing, &traffic, &sim_cfg).expect("valid sim config");
     // Map flows back to canonical pair order explicitly (robust even if a
     // traffic model produced zero-demand pairs, which carry no flow).
@@ -193,14 +197,19 @@ pub fn generate_sample(cfg: &GenConfig, i: usize) -> Sample {
     let targets: Vec<TargetKpi> = graph
         .node_pairs()
         .map(|(s, d)| {
-            by_pair
-                .get(&(s, d))
-                .copied()
-                .unwrap_or(TargetKpi { delay_s: 0.0, jitter_s2: 0.0, drop_prob: 0.0 })
+            by_pair.get(&(s, d)).copied().unwrap_or(TargetKpi {
+                delay_s: 0.0,
+                jitter_s2: 0.0,
+                drop_prob: 0.0,
+            })
         })
         .collect();
     let sample = Sample {
-        scenario: Scenario { graph, routing, traffic },
+        scenario: Scenario {
+            graph,
+            routing,
+            traffic,
+        },
         targets,
         topology: cfg.topology.name(),
         intensity,
@@ -227,7 +236,9 @@ fn num_threads() -> usize {
 pub fn generate_dataset_with_threads(cfg: &GenConfig, workers: usize) -> Vec<Sample> {
     assert!(workers >= 1);
     if workers == 1 || cfg.n_samples <= 1 {
-        return (0..cfg.n_samples).map(|i| generate_sample(cfg, i)).collect();
+        return (0..cfg.n_samples)
+            .map(|i| generate_sample(cfg, i))
+            .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Sample)>();
@@ -241,12 +252,14 @@ pub fn generate_dataset_with_threads(cfg: &GenConfig, workers: usize) -> Vec<Sam
                     if i >= cfg.n_samples {
                         break;
                     }
-                    tx.send((i, generate_sample(cfg, i))).expect("collector alive");
+                    tx.send((i, generate_sample(cfg, i)))
+                        // lint: allow(panic, reason = "receiver outlives the scope; it is dropped after join")
+                        .expect("collector alive");
                 }
             });
         }
     })
-    .expect("worker threads do not panic");
+    .expect("worker threads do not panic"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
     drop(tx);
     let mut indexed: Vec<(usize, Sample)> = rx.into_iter().collect();
     indexed.sort_by_key(|(i, _)| *i);
@@ -259,7 +272,10 @@ mod tests {
 
     fn tiny_cfg() -> GenConfig {
         let mut cfg = GenConfig::new(
-            TopologySpec::Synthetic { n: 6, topo_seed: 42 },
+            TopologySpec::Synthetic {
+                n: 6,
+                topo_seed: 42,
+            },
             4,
             100,
         );
@@ -367,12 +383,19 @@ mod tests {
         assert_eq!(TopologySpec::Nsfnet.build().n_nodes(), 14);
         assert_eq!(TopologySpec::Geant2.build().n_nodes(), 24);
         assert_eq!(TopologySpec::Gbn.build().n_nodes(), 17);
-        let s = TopologySpec::Synthetic { n: 50, topo_seed: 1 };
+        let s = TopologySpec::Synthetic {
+            n: 50,
+            topo_seed: 1,
+        };
         assert_eq!(s.build().n_nodes(), 50);
         assert_eq!(s.name(), "Synth-50");
         // topo_seed fixes the graph
         let g1 = s.build();
-        let g2 = TopologySpec::Synthetic { n: 50, topo_seed: 1 }.build();
+        let g2 = TopologySpec::Synthetic {
+            n: 50,
+            topo_seed: 1,
+        }
+        .build();
         let e1: Vec<_> = g1.links().map(|(_, l)| (l.src.0, l.dst.0)).collect();
         let e2: Vec<_> = g2.links().map(|(_, l)| (l.src.0, l.dst.0)).collect();
         assert_eq!(e1, e2);
@@ -388,9 +411,8 @@ mod tests {
         hi.intensity_max = 0.9;
         let a = generate_sample(&lo, 0);
         let b = generate_sample(&hi, 0);
-        let mean = |s: &Sample| {
-            s.targets.iter().map(|t| t.delay_s).sum::<f64>() / s.targets.len() as f64
-        };
+        let mean =
+            |s: &Sample| s.targets.iter().map(|t| t.delay_s).sum::<f64>() / s.targets.len() as f64;
         assert!(mean(&b) > mean(&a), "high intensity must raise delays");
     }
 }

@@ -48,6 +48,7 @@ impl From<std::io::Error> for IoError {
 pub fn save_jsonl(path: impl AsRef<Path>, samples: &[Sample]) -> Result<(), IoError> {
     let mut w = BufWriter::new(File::create(path)?);
     for s in samples {
+        // lint: allow(panic, reason = "in-memory numeric data always serializes; f64 is emitted as a literal")
         let line = serde_json::to_string(s).expect("samples serialize");
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;

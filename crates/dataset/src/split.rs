@@ -95,19 +95,43 @@ pub fn generate_paper_datasets(cfg: &ProtocolConfig) -> PaperDatasets {
     // Disjoint seed blocks (1M apart; no dataset approaches 1M samples here).
     let block = 1_000_000u64;
     let s = cfg.seed.wrapping_mul(100 * block);
-    let train_nsf = generate_dataset(&make_cfg(cfg, TopologySpec::Nsfnet, cfg.train_per_topology, s));
-    let train_syn =
-        generate_dataset(&make_cfg(cfg, synth.clone(), cfg.train_per_topology, s + block));
-    let val_nsf =
-        generate_dataset(&make_cfg(cfg, TopologySpec::Nsfnet, cfg.val_per_topology, s + 2 * block));
-    let val_syn =
-        generate_dataset(&make_cfg(cfg, synth.clone(), cfg.val_per_topology, s + 3 * block));
-    let eval_nsfnet =
-        generate_dataset(&make_cfg(cfg, TopologySpec::Nsfnet, cfg.eval_per_topology, s + 4 * block));
-    let eval_synth =
-        generate_dataset(&make_cfg(cfg, synth, cfg.eval_per_topology, s + 5 * block));
-    let eval_geant2 =
-        generate_dataset(&make_cfg(cfg, TopologySpec::Geant2, cfg.eval_geant2, s + 6 * block));
+    let train_nsf = generate_dataset(&make_cfg(
+        cfg,
+        TopologySpec::Nsfnet,
+        cfg.train_per_topology,
+        s,
+    ));
+    let train_syn = generate_dataset(&make_cfg(
+        cfg,
+        synth.clone(),
+        cfg.train_per_topology,
+        s + block,
+    ));
+    let val_nsf = generate_dataset(&make_cfg(
+        cfg,
+        TopologySpec::Nsfnet,
+        cfg.val_per_topology,
+        s + 2 * block,
+    ));
+    let val_syn = generate_dataset(&make_cfg(
+        cfg,
+        synth.clone(),
+        cfg.val_per_topology,
+        s + 3 * block,
+    ));
+    let eval_nsfnet = generate_dataset(&make_cfg(
+        cfg,
+        TopologySpec::Nsfnet,
+        cfg.eval_per_topology,
+        s + 4 * block,
+    ));
+    let eval_synth = generate_dataset(&make_cfg(cfg, synth, cfg.eval_per_topology, s + 5 * block));
+    let eval_geant2 = generate_dataset(&make_cfg(
+        cfg,
+        TopologySpec::Geant2,
+        cfg.eval_geant2,
+        s + 6 * block,
+    ));
 
     // Interleave the two training topologies deterministically so minibatches
     // mix graph sizes even without shuffling.

@@ -30,9 +30,13 @@ pub fn reachable_from(g: &Graph, start: NodeId, reverse: bool) -> HashSet<NodeId
     seen.insert(start);
     queue.push_back(start);
     while let Some(u) = queue.pop_front() {
-        let links = if reverse { g.in_links(u) } else { g.out_links(u) };
+        let links = if reverse {
+            g.in_links(u)
+        } else {
+            g.out_links(u)
+        };
         for &l in links {
-            let link = g.link(l).expect("adjacency holds valid ids");
+            let link = g.adj_link(l);
             let v = if reverse { link.src } else { link.dst };
             if seen.insert(v) {
                 queue.push_back(v);
@@ -53,10 +57,11 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on dist; tie-break on node id for determinism.
+        // total_cmp gives NaN a fixed order instead of silently treating it
+        // as equal; upstream weight validation keeps distances finite anyway.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
@@ -77,19 +82,25 @@ pub fn dijkstra(g: &Graph, src: NodeId) -> (Vec<f64>, Vec<Option<LinkId>>) {
     let mut parent: Vec<Option<LinkId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u.0] {
             continue;
         }
         for &lid in g.out_links(u) {
-            let link = g.link(lid).expect("valid id");
+            let link = g.adj_link(lid);
             debug_assert!(link.weight >= 0.0, "Dijkstra requires non-negative weights");
             let nd = d + link.weight;
             if nd < dist[link.dst.0] {
                 dist[link.dst.0] = nd;
                 parent[link.dst.0] = Some(lid);
-                heap.push(HeapEntry { dist: nd, node: link.dst });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: link.dst,
+                });
             }
         }
     }
@@ -143,7 +154,9 @@ pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<No
     // Candidate set of (weight, path).
     let mut candidates: Vec<(f64, NodePath)> = Vec::new();
     while result.len() < k {
-        let last = result.last().expect("non-empty").clone();
+        let Some(last) = result.last().cloned() else {
+            break; // unreachable: `first` was pushed above
+        };
         for i in 0..last.len() - 1 {
             let spur_node = last[i];
             let root_path = &last[..=i];
@@ -158,7 +171,8 @@ pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<No
                 }
             }
             let banned_nodes: HashSet<NodeId> = root_path[..i].iter().copied().collect();
-            if let Some(spur) = shortest_path_filtered(g, spur_node, dst, &banned_links, &banned_nodes)
+            if let Some(spur) =
+                shortest_path_filtered(g, spur_node, dst, &banned_links, &banned_nodes)
             {
                 let mut total = root_path.to_vec();
                 total.extend_from_slice(&spur[1..]);
@@ -173,11 +187,7 @@ pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<No
             break;
         }
         // Pop the lightest candidate (deterministic tie-break on path lexicographic order).
-        candidates.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         result.push(candidates.remove(0).1);
     }
     result
@@ -195,7 +205,10 @@ fn shortest_path_filtered(
     let mut parent: Vec<Option<LinkId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u.0] {
             continue;
@@ -204,7 +217,7 @@ fn shortest_path_filtered(
             if banned_links.contains(&lid) {
                 continue;
             }
-            let link = g.link(lid).expect("valid id");
+            let link = g.adj_link(lid);
             if banned_nodes.contains(&link.dst) {
                 continue;
             }
@@ -212,7 +225,10 @@ fn shortest_path_filtered(
             if nd < dist[link.dst.0] {
                 dist[link.dst.0] = nd;
                 parent[link.dst.0] = Some(lid);
-                heap.push(HeapEntry { dist: nd, node: link.dst });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: link.dst,
+                });
             }
         }
     }
@@ -252,7 +268,7 @@ pub fn edge_betweenness(g: &Graph) -> Vec<f64> {
         while let Some(u) = queue.pop_front() {
             order.push(u);
             for &lid in g.out_links(u) {
-                let v = g.link(lid).expect("valid id").dst;
+                let v = g.adj_link(lid).dst;
                 if dist[v.0] == usize::MAX {
                     dist[v.0] = dist[u.0] + 1;
                     queue.push_back(v);
@@ -267,7 +283,7 @@ pub fn edge_betweenness(g: &Graph) -> Vec<f64> {
         let mut delta = vec![0.0f64; n];
         for &w in order.iter().rev() {
             for &lid in &preds[w.0] {
-                let u = g.link(lid).expect("valid id").src;
+                let u = g.adj_link(lid).src;
                 let share = sigma[u.0] / sigma[w.0] * (1.0 + delta[w.0]);
                 centrality[lid.0] += share;
                 delta[u.0] += share;
@@ -378,7 +394,10 @@ mod tests {
     #[test]
     fn trivial_path_to_self() {
         let g = line_with_shortcut();
-        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(1)),
+            Some(vec![NodeId(1)])
+        );
     }
 
     #[test]

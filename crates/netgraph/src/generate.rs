@@ -32,8 +32,14 @@ impl EdgeSet {
         let mut edges: Vec<_> = self.edges.into_iter().collect();
         edges.sort_unstable(); // deterministic link ids regardless of hash order
         for (a, b) in edges {
-            g.add_duplex(NodeId(a), NodeId(b), DEFAULT_CAPACITY_BPS, DEFAULT_PROP_DELAY_S)
-                .expect("EdgeSet guarantees validity");
+            g.add_duplex(
+                NodeId(a),
+                NodeId(b),
+                DEFAULT_CAPACITY_BPS,
+                DEFAULT_PROP_DELAY_S,
+            )
+            // lint: allow(panic, reason = "EdgeSet normalizes pairs: no self-loops or duplicates by construction")
+            .expect("EdgeSet guarantees validity");
         }
         g
     }
@@ -75,7 +81,9 @@ fn repair_connectivity<R: Rng>(edges: &mut EdgeSet, n: usize, rng: &mut R) {
         };
         let members_a: Vec<usize> = (0..n).filter(|&x| find(&mut parent, x) == ra).collect();
         let members_b: Vec<usize> = (0..n).filter(|&x| find(&mut parent, x) == rb).collect();
+        // lint: allow(panic, reason = "every union-find root has at least its own member")
         let a = *members_a.choose(rng).expect("non-empty component");
+        // lint: allow(panic, reason = "every union-find root has at least its own member")
         let b = *members_b.choose(rng).expect("non-empty component");
         edges.insert(a, b);
         let (fa, fb) = (find(&mut parent, a), find(&mut parent, b));
@@ -144,7 +152,9 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
 /// (`dist * delay_per_unit` seconds). Connectivity is repaired.
 pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, delay_per_unit: f64, rng: &mut R) -> Graph {
     assert!(n >= 2);
-    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let dist = |a: usize, b: usize| -> f64 {
         let dx = pos[a].0 - pos[b].0;
         let dy = pos[a].1 - pos[b].1;
@@ -161,9 +171,12 @@ pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, delay_per_unit: f64, rng:
     }
     repair_connectivity(&mut es, n, rng);
     let mut g = es.into_graph(&format!("Waxman-{n}"), n);
-    let ids: Vec<_> = g.links().map(|(id, l)| (id, dist(l.src.0, l.dst.0))).collect();
+    let ids: Vec<_> = g
+        .links()
+        .map(|(id, l)| (id, dist(l.src.0, l.dst.0)))
+        .collect();
     for (id, d) in ids {
-        g.link_mut(id).expect("valid id").prop_delay_s = d * delay_per_unit;
+        g.adj_link_mut(id).prop_delay_s = d * delay_per_unit;
     }
     g
 }
@@ -230,7 +243,10 @@ mod tests {
         for &n in &[5usize, 20, 50] {
             let g = erdos_renyi(n, 0.1, &mut rng);
             assert_eq!(g.n_nodes(), n);
-            assert!(is_strongly_connected(&g), "ER-{n} must be repaired to connected");
+            assert!(
+                is_strongly_connected(&g),
+                "ER-{n} must be repaired to connected"
+            );
         }
     }
 
@@ -268,7 +284,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = waxman(25, 0.6, 0.3, 1e-3, &mut rng);
         assert!(is_strongly_connected(&g));
-        assert!(g.links().all(|(_, l)| l.prop_delay_s >= 0.0 && l.prop_delay_s < 2e-3));
+        assert!(g
+            .links()
+            .all(|(_, l)| l.prop_delay_s >= 0.0 && l.prop_delay_s < 2e-3));
         // at least one positive-length link
         assert!(g.links().any(|(_, l)| l.prop_delay_s > 0.0));
     }
@@ -292,9 +310,8 @@ mod tests {
         assert_eq!(g.n_nodes(), 50);
         assert_eq!(g.name, "Synth-50");
         assert!(is_strongly_connected(&g));
-        let avg_deg =
-            g.nodes().map(|n| g.out_degree(n)).sum::<usize>() as f64 / g.n_nodes() as f64;
-        assert!(avg_deg >= 3.0 && avg_deg <= 5.0, "avg degree {avg_deg}");
+        let avg_deg = g.nodes().map(|n| g.out_degree(n)).sum::<usize>() as f64 / g.n_nodes() as f64;
+        assert!((3.0..=5.0).contains(&avg_deg), "avg degree {avg_deg}");
     }
 
     #[test]

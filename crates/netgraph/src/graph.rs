@@ -94,7 +94,9 @@ impl fmt::Display for GraphError {
             GraphError::LinkOutOfRange { link, n_links } => {
                 write!(f, "link id {link} out of range (graph has {n_links} links)")
             }
-            GraphError::BadCapacity(c) => write!(f, "link capacity must be finite and > 0, got {c}"),
+            GraphError::BadCapacity(c) => {
+                write!(f, "link capacity must be finite and > 0, got {c}")
+            }
             GraphError::BadPropDelay(d) => {
                 write!(f, "propagation delay must be finite and >= 0, got {d}")
             }
@@ -170,12 +172,40 @@ impl Graph {
         })
     }
 
+    /// Infallible link access for ids minted by this graph itself — ids
+    /// obtained from [`Graph::out_links`], [`Graph::in_links`],
+    /// [`Graph::links`], or [`Graph::link_between`]. For ids from untrusted
+    /// input (deserialized routing tables, CLI arguments) use [`Graph::link`],
+    /// which returns a typed error instead.
+    ///
+    /// INVARIANT: every LinkId stored in the adjacency structure indexes into
+    /// `links` — `add_link` is the only writer and appends consistently.
+    pub fn adj_link(&self, id: LinkId) -> &Link {
+        debug_assert!(
+            id.0 < self.links.len(),
+            "foreign LinkId {id} passed to adj_link"
+        );
+        &self.links[id.0]
+    }
+
+    /// Mutable counterpart of [`Graph::adj_link`], same precondition.
+    ///
+    /// INVARIANT: the id was minted by this graph (see [`Graph::adj_link`]).
+    pub fn adj_link_mut(&mut self, id: LinkId) -> &mut Link {
+        debug_assert!(
+            id.0 < self.links.len(),
+            "foreign LinkId {id} passed to adj_link_mut"
+        );
+        &mut self.links[id.0]
+    }
+
     /// Mutable access to a link's attributes (capacity, weight, delay).
     pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, GraphError> {
         let n_links = self.links.len();
-        self.links
-            .get_mut(id.0)
-            .ok_or(GraphError::LinkOutOfRange { link: id.0, n_links })
+        self.links.get_mut(id.0).ok_or(GraphError::LinkOutOfRange {
+            link: id.0,
+            n_links,
+        })
     }
 
     fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
@@ -209,7 +239,10 @@ impl Graph {
             return Err(GraphError::BadPropDelay(prop_delay_s));
         }
         if self.pair_index.contains_key(&(src.0, dst.0)) {
-            return Err(GraphError::DuplicateLink { src: src.0, dst: dst.0 });
+            return Err(GraphError::DuplicateLink {
+                src: src.0,
+                dst: dst.0,
+            });
         }
         let id = LinkId(self.links.len());
         self.links.push(Link {
@@ -304,7 +337,9 @@ impl Graph {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        // lint: allow(panic, reason = "fmt::Write to String never errors")
         writeln!(out, "graph \"{}\" {{", self.name).expect("write to String");
+        // lint: allow(panic, reason = "fmt::Write to String never errors")
         writeln!(out, "  layout=neato; node [shape=circle];").expect("write");
         let mut done = std::collections::HashSet::new();
         for (_, l) in self.links() {
@@ -320,6 +355,7 @@ impl Graph {
                     key.1,
                     l.capacity_bps / 1e3
                 )
+                // lint: allow(panic, reason = "fmt::Write to String never errors")
                 .expect("write");
             } else {
                 writeln!(
@@ -329,6 +365,7 @@ impl Graph {
                     l.dst.0,
                     l.capacity_bps / 1e3
                 )
+                // lint: allow(panic, reason = "fmt::Write to String never errors")
                 .expect("write");
             }
         }
@@ -429,7 +466,10 @@ mod tests {
         let mut g = Graph::new("g", 2);
         assert!(matches!(
             g.add_link(NodeId(0), NodeId(5), 1e6, 0.0),
-            Err(GraphError::NodeOutOfRange { node: 5, n_nodes: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                n_nodes: 2
+            })
         ));
     }
 

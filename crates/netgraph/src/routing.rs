@@ -99,9 +99,9 @@ impl RoutingScheme {
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, &[LinkId])> {
         let n = self.n_nodes;
         (0..n).flat_map(move |s| {
-            (0..n).filter(move |d| *d != s).map(move |d| {
-                (NodeId(s), NodeId(d), self.paths[s * n + d].as_slice())
-            })
+            (0..n)
+                .filter(move |d| *d != s)
+                .map(move |d| (NodeId(s), NodeId(d), self.paths[s * n + d].as_slice()))
         })
     }
 
@@ -238,8 +238,7 @@ pub fn randomized_routing<R: Rng>(
     let ids: Vec<_> = pg.links().map(|(id, _)| id).collect();
     for id in ids {
         let f = 1.0 + rng.gen::<f64>() * spread;
-        let l = pg.link_mut(id).expect("valid id");
-        l.weight *= f;
+        pg.adj_link_mut(id).weight *= f;
     }
     RoutingScheme::from_node_paths(&pg, |s, d| shortest_path(&pg, s, d))
 }
@@ -255,7 +254,7 @@ pub fn destination_based_routing(g: &Graph) -> Result<RoutingScheme, RoutingErro
     // For each destination d, run Dijkstra on the reversed graph from d,
     // yielding for every node its next link toward d.
     let mut next_link: Vec<Vec<Option<LinkId>>> = vec![vec![None; n]; n];
-    for d in 0..n {
+    for (d, row) in next_link.iter_mut().enumerate() {
         let (dist, _) = reverse_dijkstra(g, NodeId(d));
         for s in 0..n {
             if s == d || !dist[s].is_finite() {
@@ -269,13 +268,15 @@ pub fn destination_based_routing(g: &Graph) -> Result<RoutingScheme, RoutingErro
                 let cand = link.weight + dist[link.dst.0];
                 let better = match best {
                     None => true,
-                    Some((w, bl)) => cand < w - 1e-12 || ((cand - w).abs() <= 1e-12 && lid.0 < bl.0),
+                    Some((w, bl)) => {
+                        cand < w - 1e-12 || ((cand - w).abs() <= 1e-12 && lid.0 < bl.0)
+                    }
                 };
                 if better {
                     best = Some((cand, lid));
                 }
             }
-            next_link[d][s] = best.map(|(_, l)| l);
+            row[s] = best.map(|(_, l)| l);
         }
     }
     let mut paths = vec![Vec::new(); n * n];
@@ -283,10 +284,8 @@ pub fn destination_based_routing(g: &Graph) -> Result<RoutingScheme, RoutingErro
         let mut cur = s;
         let mut links = Vec::new();
         while cur != d {
-            let lid = next_link[d.0][cur.0].ok_or(RoutingError::Unreachable {
-                src: s.0,
-                dst: d.0,
-            })?;
+            let lid =
+                next_link[d.0][cur.0].ok_or(RoutingError::Unreachable { src: s.0, dst: d.0 })?;
             links.push(lid);
             cur = g.link(lid)?.dst;
             if links.len() > n {
@@ -310,18 +309,28 @@ fn reverse_dijkstra(g: &Graph, dst: NodeId) -> (Vec<f64>, Vec<Option<LinkId>>) {
     let mut parent: Vec<Option<LinkId>> = vec![None; n];
     let mut heap = std::collections::BinaryHeap::new();
     dist[dst.0] = 0.0;
-    heap.push(RevEntry { dist: 0.0, node: dst });
-    while let Some(RevEntry { dist: dcur, node: u }) = heap.pop() {
+    heap.push(RevEntry {
+        dist: 0.0,
+        node: dst,
+    });
+    while let Some(RevEntry {
+        dist: dcur,
+        node: u,
+    }) = heap.pop()
+    {
         if dcur > dist[u.0] {
             continue;
         }
         for &lid in g.in_links(u) {
-            let link = g.link(lid).expect("valid id");
+            let link = g.adj_link(lid);
             let nd = dcur + link.weight;
             if nd < dist[link.src.0] {
                 dist[link.src.0] = nd;
                 parent[link.src.0] = Some(lid);
-                heap.push(RevEntry { dist: nd, node: link.src });
+                heap.push(RevEntry {
+                    dist: nd,
+                    node: link.src,
+                });
             }
         }
     }
@@ -338,10 +347,11 @@ impl Eq for RevEntry {}
 
 impl Ord for RevEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // total_cmp: NaN gets a fixed position instead of corrupting the
+        // heap's ordering invariants; weights are validated finite upstream.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
@@ -414,9 +424,7 @@ mod tests {
         let r2 = randomized_routing(&g, 2.0, &mut StdRng::seed_from_u64(2)).unwrap();
         r1.validate(&g).unwrap();
         r2.validate(&g).unwrap();
-        let differs = g
-            .node_pairs()
-            .any(|(s, d)| r1.path(s, d) != r2.path(s, d));
+        let differs = g.node_pairs().any(|(s, d)| r1.path(s, d) != r2.path(s, d));
         assert!(differs, "different seeds should give different schemes");
     }
 
@@ -464,7 +472,7 @@ mod tests {
                 if cur != s {
                     assert_eq!(
                         &links[i..],
-                        &r.path(cur, d)[..],
+                        r.path(cur, d),
                         "suffix property violated at {cur} on {s}->{d}"
                     );
                 }

@@ -30,8 +30,14 @@ pub const DEFAULT_PROP_DELAY_S: f64 = 0.0;
 fn from_edges(name: &str, n: usize, edges: &[(usize, usize)]) -> Graph {
     let mut g = Graph::new(name, n);
     for &(a, b) in edges {
-        g.add_duplex(NodeId(a), NodeId(b), DEFAULT_CAPACITY_BPS, DEFAULT_PROP_DELAY_S)
-            .expect("topology zoo edge lists are valid");
+        g.add_duplex(
+            NodeId(a),
+            NodeId(b),
+            DEFAULT_CAPACITY_BPS,
+            DEFAULT_PROP_DELAY_S,
+        )
+        // lint: allow(panic, reason = "edge lists are compile-time constants validated by tests")
+        .expect("topology zoo edge lists are valid");
     }
     g
 }
@@ -212,7 +218,7 @@ pub fn assign_capacities<R: Rng>(g: &mut Graph, scheme: &CapacityScheme, rng: &m
         CapacityScheme::Uniform(c) => {
             let ids: Vec<_> = g.links().map(|(id, _)| id).collect();
             for id in ids {
-                g.link_mut(id).expect("valid id").capacity_bps = *c;
+                g.adj_link_mut(id).capacity_bps = *c;
             }
         }
         CapacityScheme::Choice(set) => {
@@ -227,7 +233,7 @@ pub fn assign_capacities<R: Rng>(g: &mut Graph, scheme: &CapacityScheme, rng: &m
                 let c = *per_pair
                     .entry(key)
                     .or_insert_with(|| set[rng.gen_range(0..set.len())]);
-                g.link_mut(id).expect("valid id").capacity_bps = c;
+                g.adj_link_mut(id).capacity_bps = c;
             }
         }
         CapacityScheme::DegreeProportional { base } => {
@@ -239,7 +245,7 @@ pub fn assign_capacities<R: Rng>(g: &mut Graph, scheme: &CapacityScheme, rng: &m
                 })
                 .collect();
             for (id, c) in ids {
-                g.link_mut(id).expect("valid id").capacity_bps = c;
+                g.adj_link_mut(id).capacity_bps = c;
             }
         }
     }
@@ -322,7 +328,11 @@ mod tests {
     fn degree_proportional_capacities() {
         let mut g = nsfnet();
         let mut rng = StdRng::seed_from_u64(3);
-        assign_capacities(&mut g, &CapacityScheme::DegreeProportional { base: 1e4 }, &mut rng);
+        assign_capacities(
+            &mut g,
+            &CapacityScheme::DegreeProportional { base: 1e4 },
+            &mut rng,
+        );
         for (_, l) in g.links() {
             let d = g.out_degree(l.src).max(g.out_degree(l.dst)) as f64;
             assert_eq!(l.capacity_bps, 1e4 * d);

@@ -42,7 +42,10 @@ impl TrafficMatrix {
     /// non-finite rate.
     pub fn set_demand(&mut self, s: NodeId, d: NodeId, bps: f64) {
         assert!(s != d, "diagonal demands are not allowed");
-        assert!(bps.is_finite() && bps >= 0.0, "demand must be finite and >= 0");
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "demand must be finite and >= 0"
+        );
         self.demands_bps[s.0 * self.n_nodes + d.0] = bps;
     }
 
@@ -94,7 +97,11 @@ pub enum TrafficModel {
 }
 
 /// Draw the *structure* of a traffic matrix under `model` (unnormalized).
-pub fn sample_structure<R: Rng>(n_nodes: usize, model: &TrafficModel, rng: &mut R) -> TrafficMatrix {
+pub fn sample_structure<R: Rng>(
+    n_nodes: usize,
+    model: &TrafficModel,
+    rng: &mut R,
+) -> TrafficMatrix {
     let mut tm = TrafficMatrix::zeros(n_nodes);
     match model {
         TrafficModel::Uniform { min_frac } => {
@@ -157,7 +164,7 @@ pub fn link_utilizations(g: &Graph, routing: &RoutingScheme, tm: &TrafficMatrix)
     link_loads(g, routing, tm)
         .into_iter()
         .enumerate()
-        .map(|(i, load)| load / g.link(LinkId(i)).expect("dense ids").capacity_bps)
+        .map(|(i, load)| load / g.adj_link(LinkId(i)).capacity_bps)
         .collect()
 }
 
@@ -256,26 +263,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let tm = sample_structure(
             12,
-            &TrafficModel::Hotspot { hot_frac: 0.1, hot_mult: 10.0 },
+            &TrafficModel::Hotspot {
+                hot_frac: 0.1,
+                hot_mult: 10.0,
+            },
             &mut rng,
         );
         let vals: Vec<f64> = tm.entries().map(|(_, _, v)| v).collect();
         let max = vals.iter().cloned().fold(0.0, f64::max);
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        assert!(max > 3.0 * mean, "expected heavy hitters: max {max}, mean {mean}");
+        assert!(
+            max > 3.0 * mean,
+            "expected heavy hitters: max {max}, mean {mean}"
+        );
     }
 
     #[test]
     fn link_loads_conserve_traffic() {
         let (g, r) = setup();
         let mut rng = StdRng::seed_from_u64(4);
-        let tm = sample_structure(g.n_nodes(), &TrafficModel::Uniform { min_frac: 0.1 }, &mut rng);
+        let tm = sample_structure(
+            g.n_nodes(),
+            &TrafficModel::Uniform { min_frac: 0.1 },
+            &mut rng,
+        );
         let loads = link_loads(&g, &r, &tm);
         // Sum of link loads == sum over pairs of demand * hops.
-        let expected: f64 = tm
-            .entries()
-            .map(|(s, d, v)| v * r.hops(s, d) as f64)
-            .sum();
+        let expected: f64 = tm.entries().map(|(s, d, v)| v * r.hops(s, d) as f64).sum();
         let got: f64 = loads.iter().sum();
         assert!((got - expected).abs() < 1e-9 * expected);
     }
@@ -284,8 +298,11 @@ mod tests {
     fn scale_to_target_hits_target_exactly() {
         let (g, r) = setup();
         let mut rng = StdRng::seed_from_u64(5);
-        let mut tm =
-            sample_structure(g.n_nodes(), &TrafficModel::Uniform { min_frac: 0.1 }, &mut rng);
+        let mut tm = sample_structure(
+            g.n_nodes(),
+            &TrafficModel::Uniform { min_frac: 0.1 },
+            &mut rng,
+        );
         scale_to_max_utilization(&g, &r, &mut tm, 0.7);
         let mu = max_utilization(&g, &r, &tm);
         assert!((mu - 0.7).abs() < 1e-12, "max util {mu}");
@@ -308,8 +325,11 @@ mod tests {
     fn scaling_is_linear() {
         let (g, r) = setup();
         let mut rng = StdRng::seed_from_u64(7);
-        let mut tm =
-            sample_structure(g.n_nodes(), &TrafficModel::Uniform { min_frac: 0.5 }, &mut rng);
+        let mut tm = sample_structure(
+            g.n_nodes(),
+            &TrafficModel::Uniform { min_frac: 0.5 },
+            &mut rng,
+        );
         let before = max_utilization(&g, &r, &tm);
         tm.scale(2.0);
         let after = max_utilization(&g, &r, &tm);

@@ -8,7 +8,9 @@ use routenet_netgraph::algo::{
     shortest_path,
 };
 use routenet_netgraph::generate::{barabasi_albert, erdos_renyi, synthetic, waxman};
-use routenet_netgraph::routing::{k_path_random_routing, randomized_routing, shortest_path_routing};
+use routenet_netgraph::routing::{
+    k_path_random_routing, randomized_routing, shortest_path_routing,
+};
 use routenet_netgraph::topology::{assign_capacities, CapacityScheme};
 use routenet_netgraph::traffic::{
     link_loads, link_utilizations, max_utilization, sample_structure, sample_traffic_matrix,

@@ -50,7 +50,13 @@ impl Dense {
     ) -> Self {
         let w = store.add(format!("{name}.w"), Tensor::xavier(in_dim, out_dim, rng));
         let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Dense { w, b, act, in_dim, out_dim }
+        Dense {
+            w,
+            b,
+            act,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward pass for a `batch x in_dim` input.
@@ -94,7 +100,11 @@ impl Mlp {
         assert!(dims.len() >= 2, "MLP needs at least input and output dims");
         let mut layers = Vec::new();
         for i in 0..dims.len() - 1 {
-            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+            let act = if i + 2 == dims.len() {
+                out_act
+            } else {
+                hidden_act
+            };
             layers.push(Dense::new(
                 store,
                 &format!("{name}.{i}"),
@@ -117,11 +127,13 @@ impl Mlp {
 
     /// Input width.
     pub fn in_dim(&self) -> usize {
+        // lint: allow(panic, reason = "constructor asserts dims.len() >= 2, so layers is non-empty")
         self.layers.first().expect("non-empty").in_dim()
     }
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
+        // lint: allow(panic, reason = "constructor asserts dims.len() >= 2, so layers is non-empty")
         self.layers.last().expect("non-empty").out_dim()
     }
 }
@@ -191,9 +203,21 @@ impl GruCell {
     pub fn step(&self, sess: &mut Session, x: Var, h: Var) -> Var {
         debug_assert_eq!(sess.tape.value(x).cols(), self.in_dim, "GRU input width");
         debug_assert_eq!(sess.tape.value(h).cols(), self.hid_dim, "GRU hidden width");
-        let (wz, uz, bz) = (sess.param(self.wz), sess.param(self.uz), sess.param(self.bz));
-        let (wr, ur, br) = (sess.param(self.wr), sess.param(self.ur), sess.param(self.br));
-        let (wh, uh, bh) = (sess.param(self.wh), sess.param(self.uh), sess.param(self.bh));
+        let (wz, uz, bz) = (
+            sess.param(self.wz),
+            sess.param(self.uz),
+            sess.param(self.bz),
+        );
+        let (wr, ur, br) = (
+            sess.param(self.wr),
+            sess.param(self.ur),
+            sess.param(self.br),
+        );
+        let (wh, uh, bh) = (
+            sess.param(self.wh),
+            sess.param(self.uh),
+            sess.param(self.bh),
+        );
 
         let t = &mut sess.tape;
         let xwz = t.matmul(x, wz);

@@ -15,7 +15,7 @@
 //! use routenet_nn::prelude::*;
 //! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let mut store = ParamStore::new();
 //! let layer = Dense::new(&mut store, "out", 2, 1, Activation::Linear, &mut rng);
 //! let mut opt = Adam::new(&store, 1e-2);

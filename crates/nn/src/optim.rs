@@ -7,7 +7,11 @@ use crate::tensor::Tensor;
 /// Returns the pre-clip norm.
 pub fn clip_global_norm(grads: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
     assert!(max_norm > 0.0);
-    let total: f64 = grads.iter().map(|(_, g)| g.norm().powi(2)).sum::<f64>().sqrt();
+    let total: f64 = grads
+        .iter()
+        .map(|(_, g)| g.norm().powi(2))
+        .sum::<f64>()
+        .sqrt();
     if total > max_norm {
         let s = max_norm / total;
         for (_, g) in grads.iter_mut() {
@@ -42,7 +46,8 @@ impl Sgd {
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         for (id, g) in grads {
             let update = if self.momentum > 0.0 {
-                let v = self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+                let v =
+                    self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
                 *v = v.map(|x| x * self.momentum);
                 v.add_scaled(g, 1.0);
                 v.clone()
@@ -100,7 +105,9 @@ impl Adam {
     /// Apply one update step.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         self.t += 1;
+        // lint: allow(cast, reason = "Adam step counts stay many orders of magnitude below i32::MAX")
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        // lint: allow(cast, reason = "Adam step counts stay many orders of magnitude below i32::MAX")
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (id, g) in grads {
             let m = self.m[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));

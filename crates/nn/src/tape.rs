@@ -75,8 +75,12 @@ impl Tape {
     }
 
     /// Value of a node.
+    ///
+    /// INVARIANT: every `Var` is minted by `push` on this tape and therefore
+    /// indexes into `nodes`; tapes are not interchangeable across sessions.
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        debug_assert!(v.0 < self.nodes.len(), "Var from a different tape");
+        &self.nodes[v.0].value // lint: allow(panic, reason = "Var minted by this tape, see INVARIANT above")
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
@@ -234,7 +238,10 @@ impl Tape {
             .map(|(&a, &b)| (a - b) * (a - b))
             .sum::<f64>()
             / n;
-        self.push(Op::Mse(pred, target.clone()), Tensor::from_vec(1, 1, vec![loss]))
+        self.push(
+            Op::Mse(pred, target.clone()),
+            Tensor::from_vec(1, 1, vec![loss]),
+        )
     }
 
     /// Mean absolute error between `pred` and a constant `target` (`1 x 1`).
@@ -249,31 +256,46 @@ impl Tape {
             .map(|(&a, &b)| (a - b).abs())
             .sum::<f64>()
             / n;
-        self.push(Op::Mae(pred, target.clone()), Tensor::from_vec(1, 1, vec![loss]))
+        self.push(
+            Op::Mae(pred, target.clone()),
+            Tensor::from_vec(1, 1, vec![loss]),
+        )
     }
 
     /// Reverse pass from `loss` (must be `1 x 1`). Returns one gradient slot
     /// per node; leaves hold the accumulated parameter gradients.
+    /// INVARIANT: `grads` has exactly one slot per tape node, so every node
+    /// id (and every `Var` recorded inside an op, which predates its node)
+    /// indexes into it.
     pub fn backward(&self, loss: Var) -> Gradients {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        debug_assert!(loss.0 < self.nodes.len(), "loss Var from a different tape");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0])); // lint: allow(panic, reason = "one grad slot per node, see INVARIANT above")
         for i in (0..=loss.0).rev() {
+            // lint: allow(panic, reason = "i <= loss.0 < nodes.len() == grads.len()")
             let Some(g) = grads[i].take() else { continue };
+            debug_assert!(g.all_finite(), "non-finite gradient reached node {i}");
             self.accumulate(i, &g, &mut grads);
-            grads[i] = Some(g);
+            grads[i] = Some(g); // lint: allow(panic, reason = "same in-bounds index as the take above")
         }
         Gradients { grads }
     }
 
+    /// INVARIANT: callers pass `i < self.nodes.len()` and a `grads` slice
+    /// with one slot per node; ops only reference `Var`s older than their own
+    /// node, so `v.0 < i` for every operand.
     fn accumulate(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        debug_assert!(i < self.nodes.len() && grads.len() == self.nodes.len());
         let add_to = |grads: &mut [Option<Tensor>], v: Var, delta: Tensor| {
+            debug_assert!(delta.all_finite(), "non-finite partial for node {}", v.0);
+            // lint: allow(panic, reason = "operand Vars predate node i, see INVARIANT above")
             match &mut grads[v.0] {
                 Some(existing) => existing.add_scaled(&delta, 1.0),
                 slot @ None => *slot = Some(delta),
             }
         };
-        let node = &self.nodes[i];
+        let node = &self.nodes[i]; // lint: allow(panic, reason = "i bounds-checked by the debug_assert above, see INVARIANT")
         match &node.op {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
@@ -323,7 +345,11 @@ impl Tape {
             }
             Op::Relu(a) => {
                 let x = self.value(*a).clone();
-                add_to(grads, *a, g.zip(&x, |gx, xv| if xv > 0.0 { gx } else { 0.0 }));
+                add_to(
+                    grads,
+                    *a,
+                    g.zip(&x, |gx, xv| if xv > 0.0 { gx } else { 0.0 }),
+                );
             }
             Op::ConcatCols(a, b) => {
                 let ac = self.value(*a).cols();
@@ -399,11 +425,7 @@ mod tests {
 
     /// Central finite-difference check of `d loss / d leaf` for every element
     /// of every listed leaf.
-    fn grad_check(
-        build: impl Fn(&mut Tape, &[Tensor]) -> Var,
-        leaves: &[Tensor],
-        tol: f64,
-    ) {
+    fn grad_check(build: impl Fn(&mut Tape, &[Tensor]) -> Var, leaves: &[Tensor], tol: f64) {
         // Analytic gradients.
         let mut tape = Tape::new();
         let vars: Vec<Var> = leaves.iter().map(|t| tape.leaf(t.clone())).collect();
@@ -430,8 +452,7 @@ mod tests {
                     t2.leaf(t.clone());
                 }
                 let l2 = build(&mut t2, &minus);
-                let numeric =
-                    (t1.value(l1).get(0, 0) - t2.value(l2).get(0, 0)) / (2.0 * eps);
+                let numeric = (t1.value(l1).get(0, 0) - t2.value(l2).get(0, 0)) / (2.0 * eps);
                 let a = analytic.data()[e];
                 assert!(
                     (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
@@ -493,7 +514,7 @@ mod tests {
                     };
                     tape.sum_all(y)
                 },
-                &[a.clone()],
+                std::slice::from_ref(&a),
                 1e-5,
             );
         }
@@ -557,7 +578,7 @@ mod tests {
                 let vp = Var(0);
                 tape.mse(vp, &t2)
             },
-            &[p.clone()],
+            std::slice::from_ref(&p),
             1e-6,
         );
         let t3 = target.clone();

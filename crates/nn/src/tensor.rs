@@ -54,7 +54,11 @@ impl Tensor {
     /// A `1 x n` row vector.
     pub fn row_vector(data: Vec<f64>) -> Self {
         let n = data.len();
-        Tensor { rows: 1, cols: n, data }
+        Tensor {
+            rows: 1,
+            cols: n,
+            data,
+        }
     }
 
     /// Xavier/Glorot uniform initialization for a `rows x cols` weight.
@@ -128,7 +132,8 @@ impl Tensor {
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -139,6 +144,7 @@ impl Tensor {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
+                // lint: allow(float-eq, reason = "exact-zero sparsity skip; any nonzero magnitude must multiply")
                 if a == 0.0 {
                     continue;
                 }

@@ -67,7 +67,13 @@ fn gru_learns_sequence_sum_sign() {
         .collect();
     let labels: Vec<f64> = seqs
         .iter()
-        .map(|s| if s.iter().sum::<f64>() > 0.0 { 1.0 } else { 0.0 })
+        .map(|s| {
+            if s.iter().sum::<f64>() > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let mut final_loss = f64::INFINITY;

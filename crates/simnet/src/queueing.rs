@@ -97,12 +97,18 @@ impl Mm1Network {
             .iter()
             .enumerate()
             .map(|(i, &bps)| {
-                let link = g.link(LinkId(i)).expect("dense ids");
-                Mm1Link::new(bps / mean_pkt_size_bits, link.capacity_bps / mean_pkt_size_bits)
+                let link = g.adj_link(LinkId(i));
+                Mm1Link::new(
+                    bps / mean_pkt_size_bits,
+                    link.capacity_bps / mean_pkt_size_bits,
+                )
             })
             .collect();
         let prop_delay_s = g.links().map(|(_, l)| l.prop_delay_s).collect();
-        Mm1Network { links, prop_delay_s }
+        Mm1Network {
+            links,
+            prop_delay_s,
+        }
     }
 
     /// Per-link models.
@@ -146,7 +152,10 @@ pub fn service_cv2(dist: &crate::sim::SizeDistribution) -> f64 {
     match *dist {
         crate::sim::SizeDistribution::Exponential => 1.0,
         crate::sim::SizeDistribution::Deterministic => 0.0,
-        crate::sim::SizeDistribution::Bimodal { p_small, small_frac } => {
+        crate::sim::SizeDistribution::Bimodal {
+            p_small,
+            small_frac,
+        } => {
             // sizes: s1 = small_frac (w.p. p), s2 = (1 - p*s1)/(1-p), mean 1.
             let s1 = small_frac;
             let s2 = (1.0 - p_small * s1) / (1.0 - p_small);
@@ -202,7 +211,7 @@ impl Mg1Link {
         }
         let es = 1.0 / mu_pps; // E[S]
         let es2 = (1.0 + cv2) * es * es; // E[S^2]
-        // Gamma-matched third moment: E[S^3] = E[S]^3 (1+cv2)(1+2cv2).
+                                         // Gamma-matched third moment: E[S^3] = E[S]^3 (1+cv2)(1+2cv2).
         let es3 = es * es * es * (1.0 + cv2) * (1.0 + 2.0 * cv2);
         let wq = lambda_pps * es2 / (2.0 * (1.0 - rho)); // P-K mean wait
         let mean = wq + es;
@@ -247,7 +256,7 @@ impl Mg1Network {
             .iter()
             .enumerate()
             .map(|(i, &bps)| {
-                let link = g.link(LinkId(i)).expect("dense ids");
+                let link = g.adj_link(LinkId(i));
                 Mg1Link::new(
                     bps / mean_pkt_size_bits,
                     link.capacity_bps / mean_pkt_size_bits,
@@ -256,7 +265,10 @@ impl Mg1Network {
             })
             .collect();
         let prop_delay_s = g.links().map(|(_, l)| l.prop_delay_s).collect();
-        Mg1Network { links, prop_delay_s }
+        Mg1Network {
+            links,
+            prop_delay_s,
+        }
     }
 
     /// Per-link models.
@@ -314,11 +326,13 @@ impl Mm1kLink {
         assert!(lambda_pps >= 0.0 && lambda_pps.is_finite());
         assert!(k >= 1, "system must hold at least the packet in service");
         let rho = lambda_pps / mu_pps;
+        // lint: allow(float-eq, reason = "idle-link special case is an exact zero arrival rate")
         let (block_prob, mean_l) = if lambda_pps == 0.0 {
             (0.0, 0.0)
         } else if (rho - 1.0).abs() < 1e-12 {
             (1.0 / (k as f64 + 1.0), k as f64 / 2.0)
         } else {
+            // lint: allow(cast, reason = "queue capacities are small integers, far below i32::MAX")
             let rk = rho.powi(k as i32);
             let rk1 = rk * rho;
             let pb = (1.0 - rho) * rk / (1.0 - rk1);
@@ -370,7 +384,7 @@ impl Mm1kNetwork {
             .iter()
             .enumerate()
             .map(|(i, &bps)| {
-                let link = g.link(LinkId(i)).expect("dense ids");
+                let link = g.adj_link(LinkId(i));
                 Mm1kLink::new(
                     bps / mean_pkt_size_bits,
                     link.capacity_bps / mean_pkt_size_bits,
@@ -379,7 +393,10 @@ impl Mm1kNetwork {
             })
             .collect();
         let prop_delay_s = g.links().map(|(_, l)| l.prop_delay_s).collect();
-        Mm1kNetwork { links, prop_delay_s }
+        Mm1kNetwork {
+            links,
+            prop_delay_s,
+        }
     }
 
     /// Per-link models.
@@ -555,10 +572,16 @@ mod tests {
         use crate::sim::SizeDistribution;
         assert_eq!(service_cv2(&SizeDistribution::Exponential), 1.0);
         assert_eq!(service_cv2(&SizeDistribution::Deterministic), 0.0);
-        let cv2 = service_cv2(&SizeDistribution::Bimodal { p_small: 0.7, small_frac: 0.3 });
+        let cv2 = service_cv2(&SizeDistribution::Bimodal {
+            p_small: 0.7,
+            small_frac: 0.3,
+        });
         assert!(cv2 > 0.0 && cv2.is_finite());
         // Degenerate bimodal where both sizes equal the mean => cv2 ~ 0.
-        let cv2 = service_cv2(&SizeDistribution::Bimodal { p_small: 0.5, small_frac: 1.0 });
+        let cv2 = service_cv2(&SizeDistribution::Bimodal {
+            p_small: 0.5,
+            small_frac: 1.0,
+        });
         assert!(cv2.abs() < 1e-12);
     }
 

@@ -113,7 +113,10 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::SizeMismatch { graph_nodes, tm_nodes } => write!(
+            SimError::SizeMismatch {
+                graph_nodes,
+                tm_nodes,
+            } => write!(
                 f,
                 "traffic matrix for {tm_nodes} nodes used with {graph_nodes}-node graph"
             ),
@@ -132,7 +135,10 @@ impl Eq for Time {}
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("simulation times are finite")
+        // total_cmp needs no panic path; event times are kept finite by the
+        // debug_assert at every push, and a hypothetical NaN would sort at a
+        // fixed position instead of corrupting the heap.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -256,6 +262,32 @@ pub fn simulate(
         }
     }
 
+    // One validation pass up front makes every event-loop access infallible:
+    // flow ids fit the compact u32 event encoding, hop counters fit u16, and
+    // all path link ids resolve against this graph.
+    if u32::try_from(flows.len()).is_err() {
+        return Err(SimError::BadConfig(format!(
+            "{} flows exceed the u32 event encoding",
+            flows.len()
+        )));
+    }
+    for f in &flows {
+        if f.path.len() >= usize::from(u16::MAX) {
+            return Err(SimError::BadConfig(format!(
+                "path for {}->{} has {} hops, exceeding the u16 hop counter",
+                f.src,
+                f.dst,
+                f.path.len()
+            )));
+        }
+        if let Some(&lid) = f.path.iter().find(|l| l.0 >= g.n_links()) {
+            return Err(SimError::BadConfig(format!(
+                "routing path for {}->{} references {lid} outside the graph",
+                f.src, f.dst
+            )));
+        }
+    }
+
     let mut links: Vec<LinkState> = g
         .links()
         .map(|(_, l)| LinkState {
@@ -285,19 +317,31 @@ pub fn simulate(
     for (i, f) in flows.iter_mut().enumerate() {
         if f.rate_pps > 0.0 {
             let t = next_arrival_time(0.0, f, &cfg.arrivals, &mut rng);
-            push(&mut heap, &mut seq, t, EventKind::SourceArrival { flow: i as u32 });
+            push(
+                &mut heap,
+                &mut seq,
+                t,
+                // lint: allow(cast, reason = "flow count validated against u32::MAX above")
+                EventKind::SourceArrival { flow: i as u32 },
+            );
         }
     }
 
     let mut events_processed: u64 = 0;
     let mut total_packets: u64 = 0;
 
-    while let Some(HeapEvent { time: Time(now), kind, .. }) = heap.pop() {
+    while let Some(HeapEvent {
+        time: Time(now),
+        kind,
+        ..
+    }) = heap.pop()
+    {
         events_processed += 1;
         match kind {
             EventKind::SourceArrival { flow } => {
-                let f = &mut flows[flow as usize];
-                // Generate this packet (if within horizon) and schedule next.
+                // lint: allow(cast, reason = "u32 to usize is widening on supported targets")
+                let f = &mut flows[flow as usize]; // lint: allow(panic, reason = "events only carry flow ids minted from this flows vec")
+                                                   // Generate this packet (if within horizon) and schedule next.
                 if now < cfg.duration_s {
                     let size = sample_size(cfg, &mut rng);
                     total_packets += 1;
@@ -318,8 +362,14 @@ pub fn simulate(
                     }
                 }
             }
-            EventKind::HopArrive { flow, hop, size_bits, gen_time } => {
-                let f = &mut flows[flow as usize];
+            EventKind::HopArrive {
+                flow,
+                hop,
+                size_bits,
+                gen_time,
+            } => {
+                // lint: allow(cast, reason = "u32 to usize is widening on supported targets")
+                let f = &mut flows[flow as usize]; // lint: allow(panic, reason = "events only carry flow ids minted from this flows vec")
                 let measured = gen_time >= cfg.warmup_s;
                 if hop as usize == f.path.len() {
                     // Delivered to destination.
@@ -332,9 +382,10 @@ pub fn simulate(
                     }
                     continue;
                 }
-                let lid = f.path[hop as usize];
-                let link = &mut links[lid.0];
-                // Lazily prune departures that already happened.
+                // lint: allow(cast, reason = "u16 to usize is widening on supported targets")
+                let lid = f.path[hop as usize]; // lint: allow(panic, reason = "hop < path.len(): the delivery check above continues at ==")
+                let link = &mut links[lid.0]; // lint: allow(panic, reason = "path link ids validated against g.n_links() at entry")
+                                              // Lazily prune departures that already happened.
                 while let Some(std::cmp::Reverse(Time(t))) = link.departures.peek() {
                     if *t <= now {
                         link.departures.pop();
@@ -436,7 +487,10 @@ pub fn simulate(
 
 fn validate_config(cfg: &SimConfig) -> Result<(), SimError> {
     if !(cfg.duration_s.is_finite() && cfg.duration_s > 0.0) {
-        return Err(SimError::BadConfig(format!("duration_s = {}", cfg.duration_s)));
+        return Err(SimError::BadConfig(format!(
+            "duration_s = {}",
+            cfg.duration_s
+        )));
     }
     if !(cfg.warmup_s.is_finite() && cfg.warmup_s >= 0.0 && cfg.warmup_s < cfg.duration_s) {
         return Err(SimError::BadConfig(format!(
@@ -450,15 +504,26 @@ fn validate_config(cfg: &SimConfig) -> Result<(), SimError> {
             cfg.mean_pkt_size_bits
         )));
     }
-    if let SizeDistribution::Bimodal { p_small, small_frac } = cfg.size_dist {
+    if let SizeDistribution::Bimodal {
+        p_small,
+        small_frac,
+    } = cfg.size_dist
+    {
         if !(0.0..1.0).contains(&p_small) || !(0.0..1.0).contains(&small_frac) {
             return Err(SimError::BadConfig(format!(
                 "bimodal p_small={p_small} small_frac={small_frac}"
             )));
         }
     }
-    if let ArrivalProcess::OnOff { on_mean_s, off_mean_s } = cfg.arrivals {
-        if !(on_mean_s > 0.0 && off_mean_s >= 0.0 && on_mean_s.is_finite() && off_mean_s.is_finite())
+    if let ArrivalProcess::OnOff {
+        on_mean_s,
+        off_mean_s,
+    } = cfg.arrivals
+    {
+        if !(on_mean_s > 0.0
+            && off_mean_s >= 0.0
+            && on_mean_s.is_finite()
+            && off_mean_s.is_finite())
         {
             return Err(SimError::BadConfig(format!(
                 "onoff on={on_mean_s} off={off_mean_s}"
@@ -482,7 +547,10 @@ fn sample_size<R: Rng>(cfg: &SimConfig, rng: &mut R) -> f64 {
     match cfg.size_dist {
         SizeDistribution::Exponential => exp_sample(1.0 / mean, rng),
         SizeDistribution::Deterministic => mean,
-        SizeDistribution::Bimodal { p_small, small_frac } => {
+        SizeDistribution::Bimodal {
+            p_small,
+            small_frac,
+        } => {
             let small = small_frac * mean;
             let large = (mean - p_small * small) / (1.0 - p_small);
             if rng.gen::<f64>() < p_small {
@@ -499,7 +567,10 @@ fn next_arrival_time<R: Rng>(now: f64, f: &mut Flow, proc: &ArrivalProcess, rng:
     match *proc {
         ArrivalProcess::Poisson => now + exp_sample(f.rate_pps, rng),
         ArrivalProcess::Deterministic => now + 1.0 / f.rate_pps,
-        ArrivalProcess::OnOff { on_mean_s, off_mean_s } => {
+        ArrivalProcess::OnOff {
+            on_mean_s,
+            off_mean_s,
+        } => {
             // Rate during ON chosen so the long-run average equals rate_pps.
             let duty = on_mean_s / (on_mean_s + off_mean_s);
             let burst_rate = f.rate_pps / duty;
@@ -507,12 +578,17 @@ fn next_arrival_time<R: Rng>(now: f64, f: &mut Flow, proc: &ArrivalProcess, rng:
             loop {
                 if t >= f.period_end {
                     // Start a new period where we stand.
+                    // lint: allow(float-eq, reason = "0.0 is the exact never-initialized sentinel assigned at flow creation")
                     if f.period_end == 0.0 {
                         f.in_on = true; // all flows start ON at t=0
                     } else {
                         f.in_on = !f.in_on;
                     }
-                    let mean = if f.in_on { on_mean_s } else { off_mean_s.max(1e-12) };
+                    let mean = if f.in_on {
+                        on_mean_s
+                    } else {
+                        off_mean_s.max(1e-12)
+                    };
                     f.period_end = t + exp_sample(1.0 / mean, rng);
                     continue;
                 }
@@ -575,7 +651,11 @@ mod tests {
         let res = simulate(&g, &r, &tm, &cfg).unwrap();
         let f = res.flow(NodeId(0), NodeId(1)).unwrap();
         assert!(f.delivered > 150);
-        assert!((f.mean_delay_s - 0.1).abs() < 1e-9, "mean {}", f.mean_delay_s);
+        assert!(
+            (f.mean_delay_s - 0.1).abs() < 1e-9,
+            "mean {}",
+            f.mean_delay_s
+        );
         assert!(f.jitter_s2 < 1e-18);
         assert_eq!(f.dropped, 0);
     }
@@ -742,7 +822,10 @@ mod tests {
         };
         let poisson = simulate(&g, &r, &tm, &base).unwrap();
         let onoff_cfg = SimConfig {
-            arrivals: ArrivalProcess::OnOff { on_mean_s: 2.0, off_mean_s: 2.0 },
+            arrivals: ArrivalProcess::OnOff {
+                on_mean_s: 2.0,
+                off_mean_s: 2.0,
+            },
             ..base
         };
         let onoff = simulate(&g, &r, &tm, &onoff_cfg).unwrap();
@@ -767,14 +850,21 @@ mod tests {
         let cfg = SimConfig {
             duration_s: 3_000.0,
             warmup_s: 10.0,
-            size_dist: SizeDistribution::Bimodal { p_small: 0.7, small_frac: 0.3 },
+            size_dist: SizeDistribution::Bimodal {
+                p_small: 0.7,
+                small_frac: 0.3,
+            },
             seed: 21,
             ..SimConfig::default()
         };
         let res = simulate(&g, &r, &tm, &cfg).unwrap();
         let f = res.flow(NodeId(0), NodeId(1)).unwrap();
         // At ~1% load delay ~= mean service time = mean_size / cap = 0.01 s.
-        assert!((f.mean_delay_s - 0.01).abs() < 0.002, "mean {}", f.mean_delay_s);
+        assert!(
+            (f.mean_delay_s - 0.01).abs() < 0.002,
+            "mean {}",
+            f.mean_delay_s
+        );
     }
 
     #[test]
@@ -782,20 +872,41 @@ mod tests {
         let (g, r) = one_link_graph(10_000.0);
         let tm = single_flow_tm(2, 0, 1, 100.0);
         for cfg in [
-            SimConfig { duration_s: 0.0, ..SimConfig::default() },
-            SimConfig { warmup_s: 500.0, ..SimConfig::default() },
-            SimConfig { mean_pkt_size_bits: -1.0, ..SimConfig::default() },
-            SimConfig { buffer_pkts: Some(0), ..SimConfig::default() },
             SimConfig {
-                size_dist: SizeDistribution::Bimodal { p_small: 1.5, small_frac: 0.3 },
+                duration_s: 0.0,
                 ..SimConfig::default()
             },
             SimConfig {
-                arrivals: ArrivalProcess::OnOff { on_mean_s: 0.0, off_mean_s: 1.0 },
+                warmup_s: 500.0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                mean_pkt_size_bits: -1.0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                buffer_pkts: Some(0),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                size_dist: SizeDistribution::Bimodal {
+                    p_small: 1.5,
+                    small_frac: 0.3,
+                },
+                ..SimConfig::default()
+            },
+            SimConfig {
+                arrivals: ArrivalProcess::OnOff {
+                    on_mean_s: 0.0,
+                    off_mean_s: 1.0,
+                },
                 ..SimConfig::default()
             },
         ] {
-            assert!(matches!(simulate(&g, &r, &tm, &cfg), Err(SimError::BadConfig(_))));
+            assert!(matches!(
+                simulate(&g, &r, &tm, &cfg),
+                Err(SimError::BadConfig(_))
+            ));
         }
     }
 
@@ -816,7 +927,7 @@ mod tests {
         // Two flows with equal demand: one 1-hop, one multi-hop.
         let mut tm = TrafficMatrix::zeros(14);
         tm.set_demand(NodeId(0), NodeId(1), 3_000.0); // adjacent
-        // find a pair with >= 3 hops
+                                                      // find a pair with >= 3 hops
         let far = g
             .node_pairs()
             .find(|(s, d)| r.hops(*s, *d) >= 3 && *s == NodeId(0))

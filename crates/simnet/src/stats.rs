@@ -169,7 +169,10 @@ impl LogHistogram {
     /// Merge another histogram with identical bounds/bins.
     pub fn merge(&mut self, other: &LogHistogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
-        assert!(self.lo == other.lo && self.hi == other.hi, "bounds mismatch");
+        assert!(
+            self.lo == other.lo && self.hi == other.hi,
+            "bounds mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -47,7 +47,10 @@ fn main() {
 
     // ---- What-if 1: traffic growth sweep -------------------------------
     println!("\n=== what-if: uniform traffic growth ===");
-    println!("{:>8} {:>16} {:>16}", "growth", "mean delay (ms)", "worst path (ms)");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "growth", "mean delay (ms)", "worst path (ms)"
+    );
     let t0 = Instant::now();
     let mut evaluations = 0;
     for growth in [0.5, 0.75, 1.0, 1.25, 1.5, 1.75] {

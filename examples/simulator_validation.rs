@@ -84,7 +84,8 @@ fn main() {
     println!("\n=== tandem effect: 3 hops, what independence approximations miss ===");
     let mut g3 = Graph::new("tandem", 4);
     for i in 0..3 {
-        g3.add_duplex(NodeId(i), NodeId(i + 1), 10_000.0, 0.0).unwrap();
+        g3.add_duplex(NodeId(i), NodeId(i + 1), 10_000.0, 0.0)
+            .unwrap();
     }
     let r3 = shortest_path_routing(&g3).unwrap();
     println!(

@@ -39,7 +39,10 @@ fn main() {
 
     // ---- Fig. 4: Top-10 paths with more delay --------------------------
     let top = top_n_paths_by_delay(&model, sample, 10);
-    println!("\n=== Top-10 paths with more delay (Geant2, intensity {:.2}) ===", sample.intensity);
+    println!(
+        "\n=== Top-10 paths with more delay (Geant2, intensity {:.2}) ===",
+        sample.intensity
+    );
     println!(
         "{:<4} {:<10} {:>15} {:>15} {:>7}",
         "#", "path", "predicted (ms)", "simulated (ms)", "hops"
@@ -88,7 +91,7 @@ fn main() {
     // ---- Hottest links by predicted traffic concentration --------------
     let fanin = routenet_core::indexing::PathTensors::build(&sample.scenario).link_fanin();
     let mut hot: Vec<(usize, usize)> = fanin.iter().cloned().enumerate().collect();
-    hot.sort_by(|a, b| b.1.cmp(&a.1));
+    hot.sort_by_key(|h| std::cmp::Reverse(h.1));
     println!("\nbusiest links by number of traversing paths (this routing):");
     for (lid, n_paths) in hot.iter().take(5) {
         let link = sample.scenario.graph.link(LinkId(*lid)).unwrap();

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Single CI gate for the RouteNet workspace:
+#   formatting -> clippy (deny warnings) -> static analysis -> build -> tests
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   skip the release build and run tests in debug only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: scripts/check.sh [--quick]" >&2
+    exit 2
+fi
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "routenet-analyzer --workspace"
+cargo run -q -p routenet-analyzer -- --workspace --json target/analyzer-report.json
+
+if [[ "$QUICK" -eq 0 ]]; then
+    step "cargo build --release"
+    cargo build --release
+fi
+
+step "cargo test --workspace"
+cargo test --workspace -q
+
+step "all checks passed"

@@ -3,11 +3,20 @@
 //! debug mode in seconds.
 
 use routenet_core::prelude::*;
-use routenet_dataset::gen::{generate_dataset_with_threads, GenConfig, RoutingDiversity, TopologySpec};
+use routenet_dataset::gen::{
+    generate_dataset_with_threads, GenConfig, RoutingDiversity, TopologySpec,
+};
 use routenet_dataset::io::{load_jsonl, save_jsonl};
 
 fn tiny_gen(n: usize, seed: u64) -> GenConfig {
-    let mut cfg = GenConfig::new(TopologySpec::Synthetic { n: 6, topo_seed: 11 }, n, seed);
+    let mut cfg = GenConfig::new(
+        TopologySpec::Synthetic {
+            n: 6,
+            topo_seed: 11,
+        },
+        n,
+        seed,
+    );
     cfg.sim.duration_s = 80.0;
     cfg.sim.warmup_s = 8.0;
     cfg
@@ -100,7 +109,11 @@ fn mm1_baseline_accurate_on_mm1_exact_labels() {
     let data = generate_dataset_with_threads(&cfg, 2);
     let ev = collect_predictions(&Mm1Baseline::default(), &data);
     let s = ev.delay_summary();
-    assert!(s.median_re < 0.15, "M/M/1 medRE {} too high on exact labels", s.median_re);
+    assert!(
+        s.median_re < 0.15,
+        "M/M/1 medRE {} too high on exact labels",
+        s.median_re
+    );
     assert!(s.pearson_r > 0.9);
 }
 
@@ -144,14 +157,31 @@ fn routenet_transfers_across_graph_sizes() {
             ..TrainConfig::default()
         },
     );
-    let mut other = GenConfig::new(TopologySpec::Synthetic { n: 10, topo_seed: 99 }, 2, 71);
+    let mut other = GenConfig::new(
+        TopologySpec::Synthetic {
+            n: 10,
+            topo_seed: 99,
+        },
+        2,
+        71,
+    );
     other.sim.duration_s = 80.0;
     other.sim.warmup_s = 8.0;
     let unseen = generate_dataset_with_threads(&other, 2);
     let ev = collect_predictions(&model, &unseen);
-    assert_eq!(ev.len(), unseen.iter().map(|s| s.targets.iter().filter(|t| t.delay_s > 0.0).count()).sum::<usize>());
+    assert_eq!(
+        ev.len(),
+        unseen
+            .iter()
+            .map(|s| s.targets.iter().filter(|t| t.delay_s > 0.0).count())
+            .sum::<usize>()
+    );
     let s = ev.delay_summary();
-    assert!(s.pearson_r > 0.3, "transfer correlation too weak: {}", s.pearson_r);
+    assert!(
+        s.pearson_r > 0.3,
+        "transfer correlation too weak: {}",
+        s.pearson_r
+    );
     assert!(ev.delay_pred.iter().all(|d| d.is_finite() && *d > 0.0));
 }
 
@@ -167,7 +197,14 @@ fn fnn_cannot_transfer_but_routenet_can() {
             ..FnnConfig::default()
         },
     );
-    let mut other = GenConfig::new(TopologySpec::Synthetic { n: 9, topo_seed: 55 }, 1, 81);
+    let mut other = GenConfig::new(
+        TopologySpec::Synthetic {
+            n: 9,
+            topo_seed: 55,
+        },
+        1,
+        81,
+    );
     other.sim.duration_s = 60.0;
     other.sim.warmup_s = 6.0;
     let unseen = generate_dataset_with_threads(&other, 1);
@@ -199,7 +236,10 @@ fn drop_head_learns_finite_buffer_losses() {
         .iter()
         .flat_map(|s| s.targets.iter().map(|t| t.drop_prob))
         .sum();
-    assert!(total_drop > 0.0, "no drops generated — experiment is vacuous");
+    assert!(
+        total_drop > 0.0,
+        "no drops generated — experiment is vacuous"
+    );
 
     let (train_set, test_set) = data.split_at(11);
     let mut model = RouteNet::new(RouteNetConfig {
@@ -227,8 +267,7 @@ fn drop_head_learns_finite_buffer_losses() {
         .map(|(p, t)| (p - t) * (p - t))
         .sum::<f64>()
         / ev.drop_true.len() as f64;
-    let zero_mse: f64 =
-        ev.drop_true.iter().map(|t| t * t).sum::<f64>() / ev.drop_true.len() as f64;
+    let zero_mse: f64 = ev.drop_true.iter().map(|t| t * t).sum::<f64>() / ev.drop_true.len() as f64;
     assert!(
         mse < zero_mse,
         "drop head no better than zero predictor: mse {mse} vs {zero_mse}"

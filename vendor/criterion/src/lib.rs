@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use. It runs each benchmark `sample_size` times with wall-clock timing and
+//! prints a mean/min/max summary — no statistics engine, no HTML reports, no
+//! CLI filtering. Good enough to keep `cargo bench` runnable and to catch
+//! order-of-magnitude regressions by eye.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-unit annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and an input label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id, e.g. `forward/nsfnet14`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one call of `routine`, keeping its output alive until after the
+    /// clock stops so drop cost is excluded and the optimizer cannot erase
+    /// the computation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        std::hint::black_box(&out);
+        drop(out);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let n = self.default_sample_size;
+        run_benchmark(id, n, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate benchmarks with a work unit for per-element reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group. (No cross-benchmark reporting in the stand-in.)
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        times.push(bencher.elapsed);
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id}: mean {mean:?}  min {min:?}  max {max:?}  [{samples} samples]{rate}");
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Run every benchmark in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_expected_number_of_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(7);
+            group.bench_with_input(BenchmarkId::new("f", "x"), &3u32, |b, input| {
+                b.iter(|| {
+                    calls += 1;
+                    *input * 2
+                });
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("standalone", |b| {
+            b.iter(|| {
+                ran = true;
+                42u64
+            });
+        });
+        assert!(ran);
+    }
+}

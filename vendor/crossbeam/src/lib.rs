@@ -1,0 +1,91 @@
+//! Offline stand-in for the one crossbeam API this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn`, implemented directly on
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Behavioral difference from upstream: a panicking worker propagates the
+//! panic out of `scope` (std semantics) instead of surfacing it as an `Err`.
+//! Call sites in this repo `.expect(..)` the result either way, so both
+//! implementations abort the process identically on worker panic.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` surface.
+
+    /// Result of a scope: `Ok` unless a spawned thread panicked.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle for spawning threads tied to the scope's lifetime.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// workers can spawn nested workers (upstream's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            // `inner` is a Copy reference; rebuilding the wrapper inside the
+            // worker avoids tying `&self` to the whole `'scope` lifetime.
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            99
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, 99);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let v = thread::scope(|scope| {
+            let h = scope.spawn(|_| 7 * 6);
+            h.join().expect("worker ok")
+        })
+        .expect("scope ok");
+        assert_eq!(v, 42);
+    }
+}

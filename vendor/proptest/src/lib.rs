@@ -1,0 +1,279 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro over numeric-range strategies, `ProptestConfig`,
+//! and the `prop_assert*` family.
+//!
+//! Semantics: each test body runs `cases` times with arguments drawn from a
+//! deterministic per-test RNG (derived from the test's name), so failures
+//! reproduce exactly. There is no shrinking — a failing case reports the
+//! case number and the message from the failed assertion.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runner configuration. Only `cases` is honored by the stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property does not hold.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not apply.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+            TestCaseError::Reject => f.write_str("case rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. The stand-in supports the numeric range strategies
+/// the suite uses (`lo..hi`, `lo..=hi`).
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Deterministic per-test seed: FNV-1a of the test path, so adding or
+/// reordering sibling tests never changes another test's stream.
+#[doc(hidden)]
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Fresh deterministic RNG for one generated case.
+#[doc(hidden)]
+pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+    let mut meta = StdRng::seed_from_u64(seed_for(test_path) ^ u64::from(case));
+    StdRng::seed_from_u64(meta.next_u64())
+}
+
+/// Define property tests. Mirrors upstream syntax for the forms used here:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u64..100, y in 0.0f64..1.0) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(test_path, case);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) | Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(message)) => panic!(
+                        "proptest `{}` failed at case {}/{}:\n  {}\n  args: {}",
+                        test_path,
+                        case,
+                        config.cases,
+                        message,
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip cases whose inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -1.5f64..=1.5, n in 2usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..=1.5).contains(&y), "y = {y}");
+            prop_assert!((2..5).contains(&n));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 999);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = (0..5)
+            .map(|case| crate::Strategy::sample(&(0u64..1000), &mut crate::case_rng("t", case)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|case| crate::Strategy::sample(&(0u64..1000), &mut crate::case_rng("t", case)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real serde's serializer/visitor architecture is replaced by a much
+//! smaller value-tree model: [`Serialize`] lowers a type to a [`Value`],
+//! [`Deserialize`] rebuilds it from one, and the companion `serde_json`
+//! stand-in converts `Value` to and from JSON text. The derive macros in
+//! `serde_derive` target this model directly, so `#[derive(Serialize,
+//! Deserialize)]` (including `#[serde(skip)]` and `#[serde(default)]`)
+//! works unchanged on the suite's types.
+//!
+//! Representation choices match upstream serde's external tagging:
+//! unit enum variants serialize as a string, data-carrying variants as a
+//! single-key object, newtype structs as their inner value.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// A JSON-shaped value tree: the interchange format between `Serialize`,
+/// `Deserialize`, and the `serde_json` stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer (always `< 0`; non-negatives normalize to `UInt`).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries, or `None` if not an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, or `None` if not an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by key.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Short name of the value's kind, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a required field absent from the input object.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError {
+            message: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// Error for a value of the wrong kind.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError {
+            message: format!("expected {what}, got {}", got.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Lower to the interchange value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the interchange value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}

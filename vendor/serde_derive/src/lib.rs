@@ -1,0 +1,463 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The offline build rules out `syn`/`quote`, so the item is parsed directly
+//! from the `proc_macro` token stream: attributes are scanned for
+//! `#[serde(skip)]` / `#[serde(default)]`, field and variant shapes are
+//! extracted, and the impl is emitted as a string and re-parsed. Supported
+//! shapes — all the suite needs — are non-generic structs (named, tuple,
+//! unit) and enums with unit, tuple, and struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! emission is valid"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// `(skip, default)` flags from one `#[serde(...)]` attribute body.
+fn serde_flags(attr_body: &TokenStream) -> (bool, bool) {
+    let mut toks = attr_body.clone().into_iter();
+    let is_serde = matches!(toks.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return (false, false);
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return (false, false);
+    };
+    let mut skip = false;
+    let mut default = false;
+    for t in args.stream() {
+        if let TokenTree::Ident(id) = t {
+            match id.to_string().as_str() {
+                "skip" => skip = true,
+                "default" => default = true,
+                _ => {}
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Advance past attributes, ORing any serde flags found into the result.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let mut flags = (false, false);
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let (s, d) = serde_flags(&g.stream());
+        flags.0 |= s;
+        flags.1 |= d;
+        *i += 2;
+    }
+    flags
+}
+
+/// Advance past `pub`, `pub(...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(&g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_top_level_items(&g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(&g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde impls for `{other}` items")),
+    };
+    Ok(Input { name, body })
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let (skip, default) = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        consume_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping after the `,` that ends it (or at end of
+/// stream). Tracks `<`/`>` depth so commas inside generic arguments don't
+/// terminate early.
+fn consume_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of comma-separated items at angle-depth zero (tuple-struct arity).
+fn count_top_level_items(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        consume_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_items(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(&g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "entries.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(entries)"
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), \
+                             ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// One named-field initializer `field: <expr>` reading from object value `src`.
+fn named_field_init(ty: &str, f: &Field, src: &str) -> String {
+    let fname = &f.name;
+    if f.skip {
+        return format!("{fname}: ::std::default::Default::default(),\n");
+    }
+    let on_missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\
+             \"{ty}\", \"{fname}\"))"
+        )
+    };
+    format!(
+        "{fname}: match {src}.field(\"{fname}\") {{\n\
+         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         None => {on_missing},\n}},\n"
+    )
+}
+
+fn gen_tuple_from_array(ctor: &str, arity: usize, src: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+        .collect();
+    format!(
+        "{{\nlet __items = {src}.as_array().ok_or_else(|| \
+         ::serde::DeError::expected(\"array for {ctor}\", {src}))?;\n\
+         if __items.len() != {arity} {{\n\
+         return ::std::result::Result::Err(::serde::DeError::custom(format!(\
+         \"expected {arity} elements for {ctor}, got {{}}\", __items.len())));\n}}\n\
+         ::std::result::Result::Ok({ctor}({}))\n}}",
+        items.join(", ")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| named_field_init(name, f, "__v"))
+                .collect();
+            format!(
+                "if __v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"object for {name}\", __v));\n}}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(arity)) => gen_tuple_from_array(name, *arity, "__v"),
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let expr =
+                            gen_tuple_from_array(&format!("{name}::{vname}"), *arity, "__inner");
+                        data_arms.push_str(&format!("\"{vname}\" => {expr},\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| named_field_init(name, f, "__inner"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             if __inner.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\
+                             \"object for {name}::{vname}\", __inner));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"unknown unit variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __inner) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"enum value for {name}\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

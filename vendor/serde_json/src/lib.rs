@@ -1,0 +1,152 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] / [`from_str`] over the vendored serde's value-tree model.
+//!
+//! Floats are written with Rust's shortest-round-trip formatting (`{:?}`),
+//! which preserves exact `f64` values across a write/read cycle — the
+//! property the real crate's `float_roundtrip` feature guarantees. Matching
+//! upstream, non-finite floats serialize as `null` (and read back as NaN).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+mod parse;
+mod write;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of the error in the input (0 for write errors).
+    offset: usize,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error {
+            message: e.to_string(),
+            offset: 0,
+        }
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text. Trailing non-whitespace is an error.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse JSON text into a raw [`Value`] tree.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, 6.02e23, 5e-324, f64::MAX, -0.0, 2.5e-10] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_float_syntax() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(from_str::<f64>("1.0").unwrap(), 1.0);
+        assert_eq!(from_str::<f64>("1").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "a\"b\\c\n\t\r\u{8}\u{c}\u{1}é日本 \u{1F600}";
+        let s = to_string(nasty).unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, nasty);
+    }
+
+    #[test]
+    fn vectors_options_tuples() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>("[1,2,3]").unwrap(), v);
+        assert_eq!(to_string(&None::<u32>).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("5").unwrap(), Some(5));
+        let t = (1u8, "x".to_string());
+        let s = to_string(&t).unwrap();
+        assert_eq!(from_str::<(u8, String)>(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<bool>("troo").is_err());
+        assert!(from_str::<f64>("1.2.3").is_err());
+    }
+
+    #[test]
+    fn nested_object_parses() {
+        let v = from_str_value(r#"{"a": [1, {"b": null}], "c": -2.5e3}"#).unwrap();
+        assert_eq!(v.field("c"), Some(&Value::Float(-2500.0)));
+        let a = v.field("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0], Value::UInt(1));
+        assert_eq!(a[1].field("b"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(2000) + &"]".repeat(2000);
+        assert!(from_str_value(&deep).is_err());
+    }
+}
