@@ -39,7 +39,7 @@ fn bench_train_step(c: &mut Criterion) {
                         keep_best: false,
                         ..TrainConfig::default()
                     };
-                    train(&mut model, std::slice::from_ref(s), &[], &cfg)
+                    train(&mut model, std::slice::from_ref(s), &[], &cfg).expect("train")
                 });
             },
         );

@@ -45,7 +45,8 @@ fn main() {
         };
         let mut model = RouteNet::new(cfg);
         let t0 = Instant::now();
-        train(&mut model, &data.train, &data.val, &train_cfg);
+        train(&mut model, &data.train, &data.val, &train_cfg)
+            .unwrap_or_else(|e| panic!("training failed for T={t} dim={dim}: {e}"));
         let train_s = t0.elapsed().as_secs_f64();
         let mut seen = collect_predictions(&model, &data.eval_nsfnet);
         seen.extend(&collect_predictions(&model, &data.eval_synth));

@@ -77,7 +77,8 @@ fn main() {
             verbose: true,
             ..TrainConfig::default()
         },
-    );
+    )
+    .unwrap_or_else(|e| panic!("training failed: {e}"));
 
     let mm1k = Mm1kBaseline {
         buffer_pkts: buffer,

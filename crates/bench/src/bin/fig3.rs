@@ -24,7 +24,8 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     };
-    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true)
+        .unwrap_or_else(|e| panic!("training failed: {e}"));
 
     let mm1 = Mm1Baseline::default();
     println!("# fig3: CDF of relative error of per-path delay predictions");

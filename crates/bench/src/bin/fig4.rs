@@ -23,7 +23,8 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     };
-    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true)
+        .unwrap_or_else(|e| panic!("training failed: {e}"));
 
     let sample = &exp.data.eval_geant2[sample_idx.min(exp.data.eval_geant2.len() - 1)];
     let top = top_n_paths_by_delay(&exp.model, sample, top_n);

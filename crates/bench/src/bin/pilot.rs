@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p routenet-bench --release --bin pilot -- [--scale f]
 //! [--epochs n] [--seed n]`
 
-use routenet_bench::{run_experiment, scaled_protocol, summary_row, Args};
+use routenet_bench::{interrupt, run_experiment_with_control, scaled_protocol, summary_row, Args};
 use routenet_core::prelude::*;
 
 fn main() {
@@ -14,9 +14,24 @@ fn main() {
     let train_cfg = TrainConfig {
         epochs: args.get_or("epochs", 10usize),
         verbose: true,
+        checkpoint_path: args.get("checkpoint").map(str::to_string),
+        resume_from: args.get("resume-from").map(str::to_string),
         ..TrainConfig::default()
     };
-    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    // Ctrl-C checkpoints (when --checkpoint is set) and exits cleanly.
+    let control = interrupt::ctrl_c_control();
+    let exp = run_experiment_with_control(
+        &protocol,
+        RouteNetConfig::default(),
+        &train_cfg,
+        true,
+        &control,
+    )
+    .unwrap_or_else(|e| panic!("training failed: {e}"));
+    if exp.report.interrupted {
+        eprintln!("# interrupted; exiting after checkpoint");
+        return;
+    }
 
     let mm1 = Mm1Baseline::default();
     for (name, set) in [

@@ -7,22 +7,32 @@
 //! ```
 
 use routenet_bench::{summary_row, Args};
+use routenet_core::checkpoint::MAGIC;
 use routenet_core::prelude::*;
 use routenet_dataset::io::load_jsonl;
 use std::fmt::Write as _;
 
+/// Load either a `model.json` export or a `TrainState` checkpoint (detected
+/// by its `ROUTENET-CKPT` header); checkpoints yield their best parameters.
+fn load_model(path: &str) -> Result<RouteNet, String> {
+    let head = std::fs::read_to_string(path).map_err(|e| format!("failed to read: {e}"))?;
+    if head.starts_with(MAGIC) {
+        let state = TrainState::load(path).map_err(|e| e.to_string())?;
+        return state.into_model().map_err(|e| e.to_string());
+    }
+    RouteNet::from_json(&head).map_err(|e| format!("failed to parse: {e}"))
+}
+
 fn main() {
     let args = Args::from_env();
     let (Some(model_path), Some(data_path)) = (args.get("model"), args.get("data")) else {
-        eprintln!("usage: predict --model <model.json> --data <jsonl> [--out <csv>]");
+        eprintln!(
+            "usage: predict --model <model.json|train-state.ckpt> --data <jsonl> [--out <csv>]"
+        );
         std::process::exit(2);
     };
-    let model_json = std::fs::read_to_string(model_path).unwrap_or_else(|e| {
-        eprintln!("failed to read {model_path}: {e}");
-        std::process::exit(1);
-    });
-    let model = RouteNet::from_json(&model_json).unwrap_or_else(|e| {
-        eprintln!("failed to parse {model_path}: {e}");
+    let model = load_model(model_path).unwrap_or_else(|e| {
+        eprintln!("{model_path}: {e}");
         std::process::exit(1);
     });
     let data = load_jsonl(data_path).unwrap_or_else(|e| {

@@ -17,13 +17,14 @@
 //! - `results/model.json` — the trained checkpoint
 //! - `results/summary.txt` — headline numbers
 
-use routenet_bench::{run_experiment, scaled_protocol, summary_row, Args};
+use routenet_bench::{interrupt, run_experiment_with_control, scaled_protocol, summary_row, Args};
 use routenet_core::prelude::*;
 use std::fmt::Write as _;
 use std::path::Path;
 
 fn write(path: &Path, content: &str) {
-    std::fs::write(path, content).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    routenet_core::checkpoint::atomic_write(path, content.as_bytes())
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
     eprintln!("# wrote {}", path.display());
 }
 
@@ -36,12 +37,35 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     let protocol = scaled_protocol(scale, seed);
+    let ckpt_path = out_dir.join("train-state.ckpt");
     let train_cfg = TrainConfig {
         epochs,
         verbose: true,
+        checkpoint_path: Some(ckpt_path.to_string_lossy().into_owned()),
+        checkpoint_every: args.get_or("checkpoint-every", 1usize),
+        resume_from: args
+            .get("resume")
+            .map(|_| ckpt_path.to_string_lossy().into_owned()),
         ..TrainConfig::default()
     };
-    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    // Ctrl-C checkpoints the last epoch boundary and exits cleanly; rerun
+    // with --resume to continue the run from that checkpoint.
+    let control = interrupt::ctrl_c_control();
+    let exp = run_experiment_with_control(
+        &protocol,
+        RouteNetConfig::default(),
+        &train_cfg,
+        true,
+        &control,
+    )
+    .unwrap_or_else(|e| panic!("training failed: {e}"));
+    if exp.report.interrupted {
+        eprintln!(
+            "# interrupted; training state saved to {} — rerun with --resume to continue",
+            ckpt_path.display()
+        );
+        return;
+    }
     let mm1 = Mm1Baseline::default();
     let mg1 = Mg1Baseline::default(); // knows the true (deterministic) size distribution
 

@@ -24,7 +24,8 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     };
-    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true)
+        .unwrap_or_else(|e| panic!("training failed: {e}"));
 
     // FNN baseline: train one network per *training* topology on the same
     // training samples RouteNet saw (it cannot share across topologies).

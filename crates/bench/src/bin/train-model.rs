@@ -9,27 +9,52 @@
 //! Pairs with `gen-dataset` (routenet-dataset) and `predict` for a complete
 //! file-based workflow without writing any Rust.
 
-use routenet_bench::Args;
+use routenet_bench::{interrupt, Args};
 use routenet_core::prelude::*;
-use routenet_dataset::io::load_jsonl;
+use routenet_dataset::io::{load_jsonl, load_jsonl_lenient};
 
 fn main() {
     let args = Args::from_env();
     let Some(train_path) = args.get("train") else {
-        eprintln!("usage: train-model --train <jsonl> [--val <jsonl>] --out <model.json>");
+        eprintln!(
+            "usage: train-model --train <jsonl> [--val <jsonl>] --out <model.json> \
+             [--lenient] [--checkpoint <ckpt>] [--resume-from <ckpt>]"
+        );
         std::process::exit(2);
+    };
+    let lenient = args.get("lenient").is_some();
+    let load = |path: &str| -> Vec<Sample> {
+        if lenient {
+            match load_jsonl_lenient(path) {
+                Ok(r) => {
+                    if r.skipped > 0 {
+                        // lint: allow(panic, reason = "skipped > 0 implies a recorded first error")
+                        let first = r.first_error.expect("skip list records its first error");
+                        eprintln!(
+                            "warning: {path}: quarantined {} bad line(s){}; first error: {first}",
+                            r.skipped,
+                            if r.torn_tail { " (torn tail)" } else { "" },
+                        );
+                    }
+                    r.samples
+                }
+                Err(e) => {
+                    eprintln!("failed to load {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            load_jsonl(path).unwrap_or_else(|e| {
+                eprintln!("failed to load {path}: {e}");
+                std::process::exit(1);
+            })
+        }
     };
     let out = args.get("out").unwrap_or("model.json").to_string();
 
-    let train_set = load_jsonl(train_path).unwrap_or_else(|e| {
-        eprintln!("failed to load {train_path}: {e}");
-        std::process::exit(1);
-    });
+    let train_set = load(train_path);
     let val_set = match args.get("val") {
-        Some(p) => load_jsonl(p).unwrap_or_else(|e| {
-            eprintln!("failed to load {p}: {e}");
-            std::process::exit(1);
-        }),
+        Some(p) => load(p),
         None => Vec::new(),
     };
     eprintln!(
@@ -53,14 +78,35 @@ fn main() {
         batch_size: args.get_or("batch", 8usize),
         lr: args.get_or("lr", 2e-3f64),
         verbose: true,
+        checkpoint_path: args.get("checkpoint").map(str::to_string),
+        checkpoint_every: args.get_or("checkpoint-every", 1usize),
+        resume_from: args.get("resume-from").map(str::to_string),
         ..TrainConfig::default()
     };
-    let report = train(&mut model, &train_set, &val_set, &cfg);
+    // Ctrl-C checkpoints (when --checkpoint is set) and exits cleanly.
+    let control = interrupt::ctrl_c_control();
+    let report = train_with_control(&mut model, &train_set, &val_set, &cfg, &control)
+        .unwrap_or_else(|e| {
+            eprintln!("training failed: {e}");
+            std::process::exit(1);
+        });
+    for r in &report.recoveries {
+        eprintln!(
+            "recovered from {} at epoch {} (lr {:.2e} -> {:.2e})",
+            r.reason, r.epoch, r.lr_before, r.lr_after
+        );
+    }
+    if report.interrupted {
+        eprintln!(
+            "interrupted; training state checkpointed — rerun with --resume-from to continue"
+        );
+        return;
+    }
     eprintln!(
         "best epoch {} (loss {:.5}); saving {out}",
         report.best_epoch, report.best_loss
     );
-    std::fs::write(&out, model.to_json()).unwrap_or_else(|e| {
+    routenet_core::checkpoint::atomic_write(&out, model.to_json().as_bytes()).unwrap_or_else(|e| {
         eprintln!("failed to write {out}: {e}");
         std::process::exit(1);
     });

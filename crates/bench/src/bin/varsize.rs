@@ -26,7 +26,8 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     };
-    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true);
+    let exp = run_experiment(&protocol, RouteNetConfig::default(), &train_cfg, true)
+        .unwrap_or_else(|e| panic!("training failed: {e}"));
     let mm1 = Mm1Baseline::default();
 
     println!("# varsize: error vs topology size on fresh random graphs (never seen)");

@@ -109,7 +109,26 @@ pub fn run_experiment(
     model_cfg: RouteNetConfig,
     train_cfg: &TrainConfig,
     verbose: bool,
-) -> Experiment {
+) -> Result<Experiment, TrainError> {
+    run_experiment_with_control(
+        protocol,
+        model_cfg,
+        train_cfg,
+        verbose,
+        &TrainControl::new(),
+    )
+}
+
+/// [`run_experiment`] with a [`TrainControl`] so callers (e.g. binaries that
+/// install a Ctrl-C handler via [`interrupt::ctrl_c_control`]) can convert
+/// interruption into a clean checkpoint-and-exit.
+pub fn run_experiment_with_control(
+    protocol: &ProtocolConfig,
+    model_cfg: RouteNetConfig,
+    train_cfg: &TrainConfig,
+    verbose: bool,
+    control: &TrainControl,
+) -> Result<Experiment, TrainError> {
     if verbose {
         eprintln!(
             "# generating datasets: {} train/topology, {} eval/topology, {} geant2",
@@ -124,20 +143,68 @@ pub fn run_experiment(
     }
     let mut model = RouteNet::new(model_cfg);
     let t1 = Instant::now();
-    let report = train(&mut model, &data.train, &data.val, train_cfg);
+    let report = train_with_control(&mut model, &data.train, &data.val, train_cfg, control)?;
     let train_seconds = t1.elapsed().as_secs_f64();
     if verbose {
         eprintln!(
             "# trained in {train_seconds:.1}s; best epoch {} (loss {:.5})",
             report.best_epoch, report.best_loss
         );
+        if report.interrupted {
+            eprintln!("# training interrupted; state checkpointed at the last epoch boundary");
+        }
+        for r in &report.recoveries {
+            eprintln!(
+                "# recovered from {} at epoch {} (lr {:.2e} -> {:.2e})",
+                r.reason, r.epoch, r.lr_before, r.lr_after
+            );
+        }
     }
-    Experiment {
+    Ok(Experiment {
         data,
         model,
         report,
         gen_seconds,
         train_seconds,
+    })
+}
+
+/// Cooperative Ctrl-C handling for long-running training binaries: the
+/// first SIGINT sets the shared stop flag so the trainer checkpoints and
+/// exits cleanly at the next batch boundary instead of losing the run.
+pub mod interrupt {
+    use routenet_core::TrainControl;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    #[cfg(unix)]
+    extern "C" fn handle_sigint(_signum: i32) {
+        // Async-signal-safe: a single atomic store on an already-initialized
+        // flag (ctrl_c_control initializes it before installing the handler).
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    /// A [`TrainControl`] whose stop flag is set by SIGINT (Ctrl-C). The
+    /// handler is installed once; repeated calls share the same flag. On
+    /// non-Unix platforms the control is returned without a handler.
+    pub fn ctrl_c_control() -> TrainControl {
+        let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
+        #[cfg(unix)]
+        {
+            const SIGINT: i32 = 2;
+            // glibc/musl signal(2); typed handler avoids any pointer casts.
+            unsafe extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            unsafe {
+                signal(SIGINT, handle_sigint);
+            }
+        }
+        TrainControl::with_flag(Arc::clone(flag))
     }
 }
 

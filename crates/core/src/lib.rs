@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod eval;
 pub mod features;
 pub mod indexing;
@@ -44,6 +45,7 @@ pub mod trainer;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baseline::{FnnBaseline, FnnConfig, Mg1Baseline, Mm1Baseline, Mm1kBaseline};
+    pub use crate::checkpoint::{atomic_write, CheckpointError, TrainState};
     pub use crate::eval::{
         collect_by_topology, collect_predictions, top_n_paths_by_delay, PairedEval,
     };
@@ -51,9 +53,12 @@ pub mod prelude {
     pub use crate::metrics::{cdf_points, evaluate, relative_errors, EvalSummary};
     pub use crate::model::{RouteNet, RouteNetConfig};
     pub use crate::sample::{KpiPredictor, Prediction, Sample, Scenario, TargetKpi};
-    pub use crate::trainer::{train, TrainConfig, TrainReport};
+    pub use crate::trainer::{
+        train, train_with_control, DivergenceReason, RecoveryEvent, TrainConfig, TrainControl,
+        TrainError, TrainReport,
+    };
 }
 
 pub use model::{RouteNet, RouteNetConfig};
 pub use sample::{KpiPredictor, Prediction, Sample, Scenario, TargetKpi};
-pub use trainer::{train, TrainConfig, TrainReport};
+pub use trainer::{train, train_with_control, TrainConfig, TrainControl, TrainError, TrainReport};

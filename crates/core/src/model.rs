@@ -144,6 +144,47 @@ impl RouteNet {
         }
     }
 
+    /// Rebuild a model from checkpointed parts: architecture config, a
+    /// parameter store, and a fitted normalizer (e.g. from a
+    /// [`crate::checkpoint::TrainState`]). The store must structurally
+    /// match what [`RouteNet::new`] registers for `config` — same tensor
+    /// count, names, and shapes — otherwise an error describes the first
+    /// mismatch.
+    pub fn from_parts(
+        config: RouteNetConfig,
+        params: ParamStore,
+        norm: Normalizer,
+    ) -> Result<Self, String> {
+        let mut model = RouteNet::new(config);
+        if model.store.len() != params.len() {
+            return Err(format!(
+                "parameter store has {} tensors, architecture needs {}",
+                params.len(),
+                model.store.len()
+            ));
+        }
+        for id in model.store.ids() {
+            if model.store.name(id) != params.name(id) {
+                return Err(format!(
+                    "parameter named {:?} where architecture expects {:?}",
+                    params.name(id),
+                    model.store.name(id)
+                ));
+            }
+            if model.store.get(id).shape() != params.get(id).shape() {
+                return Err(format!(
+                    "parameter {:?} has shape {:?}, architecture expects {:?}",
+                    params.name(id),
+                    params.get(id).shape(),
+                    model.store.get(id).shape()
+                ));
+            }
+        }
+        model.store = params;
+        model.norm = norm;
+        Ok(model)
+    }
+
     /// Model hyperparameters.
     pub fn config(&self) -> &RouteNetConfig {
         &self.config

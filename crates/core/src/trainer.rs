@@ -1,9 +1,30 @@
-//! Minibatch training loop for RouteNet.
+//! Crash-safe minibatch training loop for RouteNet.
 //!
-//! Mirrors the original implementation's recipe: Adam on a (weighted) MSE
+//! Mirrors the original implementation's recipe — Adam on a (weighted) MSE
 //! over z-scored delay/jitter targets, gradient clipping, multiplicative
-//! learning-rate decay, and best-on-validation checkpointing.
+//! learning-rate decay, and best-on-validation checkpointing — and wraps it
+//! in a durability/recovery layer:
+//!
+//! * **Atomic checkpoints** ([`TrainConfig::checkpoint_path`] /
+//!   [`TrainConfig::checkpoint_every`]): at epoch boundaries the complete
+//!   [`TrainState`] (parameters, Adam moments and step count, normalizer,
+//!   shuffle RNG state, loss curve, best snapshot, patience trackers) is
+//!   written through the checksummed atomic writer.
+//! * **Deterministic resume** ([`TrainConfig::resume_from`]): a run
+//!   continued from a checkpoint produces bit-identical parameters and
+//!   loss curve to an uninterrupted run. Each epoch's shuffle is derived
+//!   purely from the persisted RNG state, so the stream re-joins exactly.
+//! * **Divergence recovery**: a non-finite loss/gradient — or a loss spike
+//!   beyond [`TrainConfig::max_spike_factor`] — rolls the run back to the
+//!   last good epoch boundary, multiplies the learning rate by
+//!   [`TrainConfig::lr_backoff`], and retries, up to
+//!   [`TrainConfig::max_rollbacks`] times before giving up with
+//!   [`TrainError::Diverged`].
+//! * **Cooperative interruption** ([`TrainControl`]): setting the stop flag
+//!   (e.g. from a Ctrl-C handler) converts interruption into "checkpoint
+//!   the last epoch boundary and return cleanly" instead of data loss.
 
+use crate::checkpoint::{CheckpointError, TrainState};
 use crate::features::Normalizer;
 use crate::model::{CompiledScenario, RouteNet};
 use crate::sample::Sample;
@@ -11,8 +32,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use routenet_nn::optim::{clip_global_norm, Adam};
-use routenet_nn::{GradAccumulator, ParamStore, Session, Tensor};
+use routenet_nn::{GradAccumulator, Session, Tensor};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,6 +74,27 @@ pub struct TrainConfig {
     pub keep_best: bool,
     /// Print one line per epoch to stderr.
     pub verbose: bool,
+    /// Write an atomic, checksummed [`TrainState`] checkpoint to this path
+    /// at epoch boundaries (and at run exit). `None` disables durability.
+    pub checkpoint_path: Option<String>,
+    /// Checkpoint every N completed epochs (only with `checkpoint_path`;
+    /// a final checkpoint is always written at run exit).
+    pub checkpoint_every: usize,
+    /// Resume from a [`TrainState`] checkpoint instead of starting fresh.
+    /// The checkpoint's model/trainer configuration must match (see
+    /// [`TrainError::IncompatibleResume`]); `epochs` is read from `self`,
+    /// so passing a larger value continues the run.
+    pub resume_from: Option<String>,
+    /// Divergence detection: treat an epoch whose training loss exceeds
+    /// `factor * previous_loss` as diverged and roll it back. At epoch 0
+    /// the reference is an evaluation pass at the initial parameters.
+    /// `None` disables spike detection (non-finite values still recover).
+    pub max_spike_factor: Option<f64>,
+    /// Multiplier applied to the learning rate on every rollback.
+    pub lr_backoff: f64,
+    /// Total rollback budget for the run; exceeding it fails the run with
+    /// [`TrainError::Diverged`].
+    pub max_rollbacks: usize,
 }
 
 impl Default for TrainConfig {
@@ -69,6 +113,12 @@ impl Default for TrainConfig {
             shuffle_seed: 7,
             keep_best: true,
             verbose: false,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_from: None,
+            max_spike_factor: None,
+            lr_backoff: 0.5,
+            max_rollbacks: 3,
         }
     }
 }
@@ -86,16 +136,144 @@ pub struct EpochStats {
     pub lr: f64,
 }
 
+/// Why an epoch was rolled back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergenceReason {
+    /// A batch / epoch / validation loss went NaN or infinite.
+    NonFiniteLoss,
+    /// The global gradient norm went NaN or infinite.
+    NonFiniteGradient,
+    /// The training loss exceeded `max_spike_factor` times the reference.
+    LossSpike,
+}
+
+impl std::fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceReason::NonFiniteLoss => f.write_str("non-finite loss"),
+            DivergenceReason::NonFiniteGradient => f.write_str("non-finite gradient"),
+            DivergenceReason::LossSpike => f.write_str("loss spike"),
+        }
+    }
+}
+
+/// One divergence-recovery action taken during training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Epoch that diverged (it was rolled back and retried).
+    pub epoch: usize,
+    /// What tripped the detector.
+    pub reason: DivergenceReason,
+    /// Learning rate the failed attempt ran with.
+    pub lr_before: f64,
+    /// Learning rate after the multiplicative backoff.
+    pub lr_after: f64,
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainReport {
-    /// Per-epoch loss curve.
+    /// Per-epoch loss curve (accepted epochs only; rolled-back attempts
+    /// appear in `recoveries` instead).
     pub epochs: Vec<EpochStats>,
     /// Epoch with the lowest validation loss (or lowest train loss if no
     /// validation set).
     pub best_epoch: usize,
     /// The best loss value used for model selection.
     pub best_loss: f64,
+    /// Divergence-recovery events (rollback + LR backoff) that occurred.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// True if the run was stopped cooperatively (see [`TrainControl`])
+    /// before reaching its epoch target. The model holds the last epoch
+    /// boundary's parameters, matching the written checkpoint.
+    pub interrupted: bool,
+}
+
+/// Typed training failures.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// A hyperparameter was out of range.
+    InvalidConfig(String),
+    /// Divergence recovery exhausted its rollback budget. The model holds
+    /// the last good parameters, and (when checkpointing is configured)
+    /// the last good state was persisted for post-mortem resume.
+    Diverged {
+        /// Epoch that kept diverging.
+        epoch: usize,
+        /// Rollbacks consumed before giving up.
+        rollbacks: usize,
+        /// The final divergence trigger.
+        reason: DivergenceReason,
+    },
+    /// Checkpoint persistence or restore failed.
+    Checkpoint(CheckpointError),
+    /// A resume checkpoint does not match the model or trainer config.
+    IncompatibleResume(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => f.write_str("training set is empty"),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            TrainError::Diverged {
+                epoch,
+                rollbacks,
+                reason,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} ({reason}) after {rollbacks} rollbacks"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TrainError::IncompatibleResume(msg) => write!(f, "cannot resume: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Cooperative run control: a shared stop flag checked at batch boundaries.
+/// When set (e.g. by a Ctrl-C handler), training discards the partial
+/// epoch, writes a checkpoint of the last epoch boundary (when configured),
+/// and returns cleanly with [`TrainReport::interrupted`] set.
+#[derive(Debug, Clone, Default)]
+pub struct TrainControl {
+    stop: Arc<AtomicBool>,
+}
+
+impl TrainControl {
+    /// A control whose flag is not set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing shared flag (e.g. one a signal handler sets).
+    pub fn with_flag(stop: Arc<AtomicBool>) -> Self {
+        TrainControl { stop }
+    }
+
+    /// The shared flag, for handing to a signal handler or another thread.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Ask the run to stop at the next batch boundary.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
 }
 
 /// One pre-compiled training item.
@@ -161,15 +339,15 @@ fn compile_items(
         .collect()
 }
 
-/// INVARIANT: the loss scalar stays finite — inputs are normalized and the
-/// tape asserts finiteness of every node value in debug builds.
+/// Forward/backward for one item. A non-finite loss or gradient is returned
+/// as-is (the tape tracks poisoning instead of asserting); the epoch loop
+/// treats it as divergence and rolls back to the last good state.
 fn item_loss(model: &RouteNet, item: &Item) -> (f64, Vec<(routenet_nn::ParamId, Tensor)>) {
     let mut sess = Session::new(model.store());
     let out = model.forward(&mut sess, &item.compiled);
     let weighted = sess.tape.mul_const(out, &item.col_weights);
     let loss = sess.tape.mse(weighted, &item.target);
     let loss_val = sess.tape.value(loss).get(0, 0);
-    debug_assert!(loss_val.is_finite(), "non-finite training loss");
     let grads = sess.tape.backward(loss);
     let pg = sess.param_grads(&grads);
     (loss_val, pg)
@@ -231,59 +409,203 @@ fn batch_losses(
     out.into_iter().map(|(_, v)| v).collect()
 }
 
+fn validate_config(cfg: &TrainConfig) -> Result<(), TrainError> {
+    let check = |ok: bool, msg: &str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(TrainError::InvalidConfig(msg.into()))
+        }
+    };
+    check(cfg.batch_size >= 1, "batch_size must be >= 1")?;
+    check(cfg.epochs >= 1, "epochs must be >= 1")?;
+    check(cfg.lr > 0.0, "lr must be positive")?;
+    check(
+        cfg.lr_decay > 0.0 && cfg.lr_decay <= 1.0,
+        "lr_decay must be in (0, 1]",
+    )?;
+    check(
+        cfg.lr_backoff > 0.0 && cfg.lr_backoff < 1.0,
+        "lr_backoff must be in (0, 1)",
+    )?;
+    check(cfg.checkpoint_every >= 1, "checkpoint_every must be >= 1")?;
+    if let Some(f) = cfg.max_spike_factor {
+        check(
+            f.is_finite() && f > 0.0,
+            "max_spike_factor must be finite and positive",
+        )?;
+    }
+    Ok(())
+}
+
+/// The fields of [`TrainConfig`] that determine the numeric trajectory of a
+/// run must match between the checkpoint and the resuming call; otherwise
+/// the resumed run would silently differ from the uninterrupted one.
+/// `epochs`, `threads`, `verbose`, and the checkpoint/resume paths are free
+/// to change.
+fn check_resume_compat(saved: &TrainConfig, cur: &TrainConfig) -> Result<(), TrainError> {
+    macro_rules! require_eq {
+        ($field:ident) => {
+            if saved.$field != cur.$field {
+                return Err(TrainError::IncompatibleResume(format!(
+                    "config field `{}` differs from the checkpoint ({:?} vs {:?})",
+                    stringify!($field),
+                    saved.$field,
+                    cur.$field
+                )));
+            }
+        };
+    }
+    require_eq!(batch_size);
+    require_eq!(lr);
+    require_eq!(lr_decay);
+    require_eq!(clip_norm);
+    require_eq!(jitter_weight);
+    require_eq!(drop_weight);
+    require_eq!(log_targets);
+    require_eq!(patience);
+    require_eq!(shuffle_seed);
+    require_eq!(keep_best);
+    require_eq!(max_spike_factor);
+    require_eq!(lr_backoff);
+    require_eq!(max_rollbacks);
+    Ok(())
+}
+
+/// Install a snapshot's model-facing pieces back into the live run.
+fn install_state(state: &TrainState, model: &mut RouteNet, opt: &mut Adam, rng: &mut StdRng) {
+    *model.store_mut() = state.params.clone();
+    *opt = state.opt.clone();
+    *rng = StdRng::from_state(state.rng);
+}
+
 /// Train `model` on `train_set`, monitoring `val_set` (may be empty).
 ///
 /// Fits the normalizer on `train_set`, then runs minibatch Adam. With
 /// `keep_best`, the parameters of the best epoch (by validation loss, or by
 /// training loss when `val_set` is empty) are restored before returning.
+/// See the module docs for checkpointing, resume, and divergence recovery.
 pub fn train(
     model: &mut RouteNet,
     train_set: &[Sample],
     val_set: &[Sample],
     cfg: &TrainConfig,
-) -> TrainReport {
-    assert!(!train_set.is_empty(), "training set is empty");
-    assert!(cfg.batch_size >= 1 && cfg.epochs >= 1);
-    assert!(cfg.lr > 0.0 && cfg.lr_decay > 0.0 && cfg.lr_decay <= 1.0);
+) -> Result<TrainReport, TrainError> {
+    train_with_control(model, train_set, val_set, cfg, &TrainControl::new())
+}
 
-    model.set_normalizer(Normalizer::fit_with(train_set, cfg.log_targets));
+/// [`train`] with an explicit [`TrainControl`] for cooperative interruption.
+pub fn train_with_control(
+    model: &mut RouteNet,
+    train_set: &[Sample],
+    val_set: &[Sample],
+    cfg: &TrainConfig,
+    control: &TrainControl,
+) -> Result<TrainReport, TrainError> {
+    validate_config(cfg)?;
+    if train_set.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+
+    // ---- establish the starting state (fresh or resumed) ----------------
+    // `state` is always the last good epoch boundary: the rollback target
+    // for divergence recovery and the payload of every checkpoint write.
+    let mut state: TrainState = match &cfg.resume_from {
+        Some(path) => {
+            let st = TrainState::load(path)?;
+            if st.model_config != *model.config() {
+                return Err(TrainError::IncompatibleResume(
+                    "checkpoint was trained with a different model architecture".into(),
+                ));
+            }
+            check_resume_compat(&st.train_config, cfg)?;
+            model.set_normalizer(st.norm.clone());
+            st
+        }
+        None => {
+            model.set_normalizer(Normalizer::fit_with(train_set, cfg.log_targets));
+            TrainState::new(
+                model.config().clone(),
+                cfg.clone(),
+                model.store().clone(),
+                model.normalizer().clone(),
+                Adam::new(model.store(), cfg.lr),
+                StdRng::seed_from_u64(cfg.shuffle_seed).state(),
+            )
+        }
+    };
+    // Keep the persisted config in sync with the caller's (resume paths,
+    // epoch targets etc. may legitimately change between sessions).
+    state.train_config = cfg.clone();
+
     let train_items = compile_items(model, train_set, cfg.jitter_weight, cfg.drop_weight);
     let val_items = compile_items(model, val_set, cfg.jitter_weight, cfg.drop_weight);
 
-    let mut opt = Adam::new(model.store(), cfg.lr);
-    let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+    let mut opt = state.opt.clone();
+    let mut rng = StdRng::from_state(state.rng);
+    *model.store_mut() = state.params.clone();
+
+    // Spike-detection reference: the last accepted epoch's training loss,
+    // or (for a fresh run with detection enabled) an evaluation pass over
+    // the training set at the initial parameters.
+    let mut spike_ref: Option<f64> = state.epochs.last().map(|e| e.train_loss);
+    if spike_ref.is_none() && cfg.max_spike_factor.is_some() {
+        let base = train_items
+            .iter()
+            .map(|it| item_loss_value(model, it))
+            .sum::<f64>()
+            / train_items.len() as f64;
+        spike_ref = Some(base);
+    }
+
     let mut order: Vec<usize> = (0..train_items.len()).collect();
+    let mut epoch = state.epoch_next;
+    let mut interrupted = control.stop_requested();
 
-    let mut report = TrainReport {
-        epochs: Vec::with_capacity(cfg.epochs),
-        best_epoch: 0,
-        best_loss: f64::INFINITY,
-    };
-    let mut best_params: Option<ParamStore> = None;
-    // Patience tracks *significant* improvements so that float-noise-level
-    // decreases do not keep a stalled run alive.
-    let mut last_significant = 0usize;
-    let mut patience_best = f64::INFINITY;
-
-    for epoch in 0..cfg.epochs {
+    'epochs: while epoch < cfg.epochs && !interrupted {
+        // The shuffle depends only on the persisted RNG state (the order is
+        // reset to identity first), so rollback and resume replay it.
+        order.sort_unstable();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
+        let mut diverged: Option<DivergenceReason> = None;
         for chunk in order.chunks(cfg.batch_size) {
+            if control.stop_requested() {
+                interrupted = true;
+                break;
+            }
             let mut acc = GradAccumulator::new(model.store());
             let mut batch_loss = 0.0;
             for (l, pg) in batch_losses(model, &train_items, chunk, cfg.threads) {
                 batch_loss += l;
                 acc.add(&pg);
             }
+            if !batch_loss.is_finite() {
+                diverged = Some(DivergenceReason::NonFiniteLoss);
+                break;
+            }
             let mut mean_grads = acc.take_mean();
-            clip_global_norm(&mut mean_grads, cfg.clip_norm);
+            let grad_norm = clip_global_norm(&mut mean_grads, cfg.clip_norm);
+            if !grad_norm.is_finite() {
+                diverged = Some(DivergenceReason::NonFiniteGradient);
+                break;
+            }
             opt.step(model.store_mut(), &mean_grads);
             epoch_loss += batch_loss / chunk.len() as f64;
             batches += 1;
         }
+        if interrupted {
+            // Discard the partial epoch: restore the boundary so the model,
+            // the report, and the checkpoint all agree.
+            install_state(&state, model, &mut opt, &mut rng);
+            break 'epochs;
+        }
         let train_loss = epoch_loss / batches.max(1) as f64;
-        let val_loss = if val_items.is_empty() {
+        if diverged.is_none() && !train_loss.is_finite() {
+            diverged = Some(DivergenceReason::NonFiniteLoss);
+        }
+        let val_loss = if diverged.is_some() || val_items.is_empty() {
             None
         } else {
             Some(
@@ -294,12 +616,60 @@ pub fn train(
                     / val_items.len() as f64,
             )
         };
+        if diverged.is_none() {
+            if let Some(v) = val_loss {
+                if !v.is_finite() {
+                    diverged = Some(DivergenceReason::NonFiniteLoss);
+                }
+            }
+        }
+        if diverged.is_none() {
+            if let (Some(factor), Some(reference)) = (cfg.max_spike_factor, spike_ref) {
+                if train_loss > factor * reference {
+                    diverged = Some(DivergenceReason::LossSpike);
+                }
+            }
+        }
+
+        if let Some(reason) = diverged {
+            // ---- rollback to the last good boundary + LR backoff --------
+            let lr_before = state.opt.lr;
+            if state.rollbacks >= cfg.max_rollbacks {
+                install_state(&state, model, &mut opt, &mut rng);
+                if let Some(path) = &cfg.checkpoint_path {
+                    state.save(path)?;
+                }
+                return Err(TrainError::Diverged {
+                    epoch,
+                    rollbacks: state.rollbacks,
+                    reason,
+                });
+            }
+            state.rollbacks += 1;
+            state.opt.lr *= cfg.lr_backoff;
+            state.recoveries.push(RecoveryEvent {
+                epoch,
+                reason,
+                lr_before,
+                lr_after: state.opt.lr,
+            });
+            install_state(&state, model, &mut opt, &mut rng);
+            if cfg.verbose {
+                eprintln!(
+                    "epoch {epoch:3}  DIVERGED ({reason}); rollback {}/{} with lr {:.2e} -> {:.2e}",
+                    state.rollbacks, cfg.max_rollbacks, lr_before, state.opt.lr
+                );
+            }
+            continue 'epochs; // retry the same epoch index
+        }
+
+        // ---- accepted epoch: advance trackers and the boundary ----------
         let selection = val_loss.unwrap_or(train_loss);
-        if selection < report.best_loss {
-            report.best_loss = selection;
-            report.best_epoch = epoch;
+        if selection < state.best_loss() {
+            state.set_best_loss(selection);
+            state.best_epoch = epoch;
             if cfg.keep_best {
-                best_params = Some(model.store().clone());
+                state.best_params = Some(model.store().clone());
             }
         }
         if cfg.verbose {
@@ -309,33 +679,66 @@ pub fn train(
                 opt.lr
             );
         }
-        report.epochs.push(EpochStats {
+        state.epochs.push(EpochStats {
             epoch,
             train_loss,
             val_loss,
             lr: opt.lr,
         });
         opt.lr *= cfg.lr_decay;
-        if selection < patience_best * (1.0 - 1e-6) {
-            patience_best = selection;
-            last_significant = epoch;
+        if selection < state.patience_best() * (1.0 - 1e-6) {
+            state.set_patience_best(selection);
+            state.last_significant = epoch;
         }
+        spike_ref = Some(train_loss);
+
+        state.params = model.store().clone();
+        state.opt = opt.clone();
+        state.rng = rng.state();
+        state.epoch_next = epoch + 1;
+
+        if let Some(path) = &cfg.checkpoint_path {
+            if state.epoch_next.is_multiple_of(cfg.checkpoint_every) {
+                state.save(path)?;
+            }
+        }
+
         if let Some(patience) = cfg.patience {
-            if epoch > last_significant + patience {
+            if epoch > state.last_significant + patience {
                 if cfg.verbose {
                     eprintln!(
-                        "early stop at epoch {epoch}: no significant improvement since epoch {last_significant}"
+                        "early stop at epoch {epoch}: no significant improvement since epoch {}",
+                        state.last_significant
                     );
                 }
                 break;
             }
         }
+        epoch += 1;
     }
 
-    if let Some(best) = best_params {
-        *model.store_mut() = best;
+    // A final checkpoint at run exit (normal completion, early stop, or
+    // interruption) so the on-disk state always matches the returned run.
+    if let Some(path) = &cfg.checkpoint_path {
+        state.save(path)?;
     }
-    report
+
+    let report = TrainReport {
+        epochs: state.epochs.clone(),
+        best_epoch: state.best_epoch,
+        best_loss: state.best_loss(),
+        recoveries: state.recoveries.clone(),
+        interrupted,
+    };
+    // Restore the best parameters only for completed runs; an interrupted
+    // run leaves the model at the checkpointed boundary so disk and memory
+    // agree (the best snapshot itself is inside the checkpoint).
+    if !interrupted && cfg.keep_best {
+        if let Some(best) = &state.best_params {
+            *model.store_mut() = best.clone();
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -399,6 +802,10 @@ mod tests {
         })
     }
 
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rn-trainer-{tag}-{}.ckpt", std::process::id()))
+    }
+
     #[test]
     fn training_reduces_loss() {
         let data = mm1_dataset(24, 1);
@@ -411,12 +818,13 @@ mod tests {
             verbose: false,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, train_set, val_set, &cfg);
+        let report = train(&mut model, train_set, val_set, &cfg).unwrap();
         assert_eq!(report.epochs.len(), 12);
+        assert!(!report.interrupted);
+        assert!(report.recoveries.is_empty());
         let first = report.epochs.first().unwrap().train_loss;
         let last = report.epochs.last().unwrap().train_loss;
         assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
-        //
 
         // After training on MM1 labels, predictions should correlate with
         // the truth on validation data.
@@ -448,7 +856,7 @@ mod tests {
             keep_best: true,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &data[..6], &data[6..], &cfg);
+        let report = train(&mut model, &data[..6], &data[6..], &cfg).unwrap();
         // The restored parameters must reproduce the best validation loss.
         let items = compile_items(&model, &data[6..], cfg.jitter_weight, cfg.drop_weight);
         let val: f64 = items
@@ -474,7 +882,7 @@ mod tests {
             lr_decay: 0.5,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &data, &[], &cfg);
+        let report = train(&mut model, &data, &[], &cfg).unwrap();
         assert!((report.epochs[0].lr - 1e-3).abs() < 1e-15);
         assert!((report.epochs[1].lr - 5e-4).abs() < 1e-15);
         assert!((report.epochs[2].lr - 2.5e-4).abs() < 1e-15);
@@ -493,7 +901,7 @@ mod tests {
                 keep_best: false,
                 ..TrainConfig::default()
             };
-            train(&mut model, &data[..8], &data[8..], &cfg);
+            train(&mut model, &data[..8], &data[8..], &cfg).unwrap();
             model
                 .predict_scenario(&data[9].scenario)
                 .iter()
@@ -518,7 +926,7 @@ mod tests {
             patience: Some(2),
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &data[..4], &data[4..], &cfg);
+        let report = train(&mut model, &data[..4], &data[4..], &cfg).unwrap();
         assert!(
             report.epochs.len() <= 5,
             "expected early stop, ran {} epochs",
@@ -540,14 +948,233 @@ mod tests {
             patience: None,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &data, &[], &cfg);
+        let report = train(&mut model, &data, &[], &cfg).unwrap();
         assert_eq!(report.epochs.len(), 4);
     }
 
     #[test]
-    #[should_panic(expected = "training set is empty")]
-    fn empty_training_set_panics() {
+    fn empty_training_set_is_an_error() {
         let mut model = tiny_model();
-        train(&mut model, &[], &[], &TrainConfig::default());
+        let err = train(&mut model, &[], &[], &TrainConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, TrainError::EmptyTrainingSet),
+            "expected EmptyTrainingSet, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let data = mm1_dataset(2, 8);
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
+        let err = train(&mut model, &data, &[], &cfg).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn nan_divergence_rolls_back_and_recovers() {
+        let data = mm1_dataset(6, 9);
+        let mut model = tiny_model();
+        // An absurd learning rate explodes the parameters to non-finite
+        // territory within the first epoch; the backoff is sized so that a
+        // single rollback lands on a sane rate and training proceeds.
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 3,
+            lr: 1e160,
+            lr_backoff: 1e-163,
+            max_rollbacks: 3,
+            keep_best: false,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data[..4], &data[4..], &cfg).unwrap();
+        assert!(
+            !report.recoveries.is_empty(),
+            "expected at least one rollback"
+        );
+        let rec = report.recoveries[0];
+        assert!(rec.lr_after < rec.lr_before);
+        assert_eq!(rec.epoch, 0);
+        assert_eq!(
+            report.epochs.len(),
+            3,
+            "run did not complete after recovery"
+        );
+        assert!(
+            report.epochs.iter().all(|e| e.train_loss.is_finite()),
+            "accepted epochs must have finite losses"
+        );
+        // The recovered run trains at the backed-off rate.
+        assert!(report.epochs[0].lr < 1.0);
+    }
+
+    #[test]
+    fn divergence_budget_exhaustion_is_an_error() {
+        let data = mm1_dataset(4, 10);
+        let mut model = tiny_model();
+        // Backoff of 0.9 keeps the rate absurd, so every retry diverges
+        // again until the budget runs out.
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 2,
+            lr: 1e160,
+            lr_backoff: 0.9,
+            max_rollbacks: 2,
+            ..TrainConfig::default()
+        };
+        let err = train(&mut model, &data, &[], &cfg).unwrap_err();
+        match err {
+            TrainError::Diverged {
+                epoch, rollbacks, ..
+            } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(rollbacks, 2);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_spike_detection_trips_and_reports() {
+        let data = mm1_dataset(4, 11);
+        let mut model = tiny_model();
+        // With a spike factor far below 1 and a learning rate too small to
+        // improve anything, every epoch reads as a spike over the initial
+        // evaluation baseline and the budget drains.
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 2,
+            lr: 1e-12,
+            max_spike_factor: Some(1e-12),
+            max_rollbacks: 1,
+            ..TrainConfig::default()
+        };
+        let err = train(&mut model, &data, &[], &cfg).unwrap_err();
+        match err {
+            TrainError::Diverged { reason, .. } => {
+                assert_eq!(reason, DivergenceReason::LossSpike);
+            }
+            other => panic!("expected Diverged(LossSpike), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointing_writes_a_loadable_state() {
+        let data = mm1_dataset(5, 12);
+        let path = tmp_path("loadable");
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data[..4], &data[4..], &cfg).unwrap();
+        let state = TrainState::load(&path).unwrap();
+        assert_eq!(state.epoch_next, 2);
+        assert_eq!(state.epochs.len(), report.epochs.len());
+        assert_eq!(state.best_epoch, report.best_epoch);
+        // keep_best defaults on, so the snapshot carries the best params and
+        // into_model() reproduces the returned model exactly.
+        let restored = state.into_model().unwrap();
+        assert_eq!(restored.store(), model.store());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_stopped_control_checkpoints_and_exits_cleanly() {
+        let data = mm1_dataset(4, 13);
+        let path = tmp_path("interrupt");
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 2,
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            ..TrainConfig::default()
+        };
+        let control = TrainControl::new();
+        control.request_stop();
+        let report = train_with_control(&mut model, &data, &[], &cfg, &control).unwrap();
+        assert!(report.interrupted);
+        assert!(report.epochs.is_empty());
+        // The checkpoint exists and resumes from epoch 0.
+        let state = TrainState::load(&path).unwrap();
+        assert_eq!(state.epoch_next, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        let data = mm1_dataset(10, 14);
+        let (train_set, val_set) = data.split_at(8);
+        let path = tmp_path("resume");
+
+        // Uninterrupted: 4 epochs straight.
+        let mut full = tiny_model();
+        let cfg4 = TrainConfig {
+            epochs: 4,
+            batch_size: 3,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
+        let full_report = train(&mut full, train_set, val_set, &cfg4).unwrap();
+
+        // Interrupted: 2 epochs with a checkpoint, then resume for 2 more.
+        let mut half = tiny_model();
+        let cfg2 = TrainConfig {
+            epochs: 2,
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            ..cfg4.clone()
+        };
+        train(&mut half, train_set, val_set, &cfg2).unwrap();
+        let mut resumed = tiny_model();
+        let cfg_resume = TrainConfig {
+            epochs: 4,
+            resume_from: Some(path.to_string_lossy().into_owned()),
+            checkpoint_path: None,
+            ..cfg4.clone()
+        };
+        let resumed_report = train(&mut resumed, train_set, val_set, &cfg_resume).unwrap();
+
+        // Bit-identical: parameters and the full loss curve.
+        assert_eq!(full.store(), resumed.store());
+        assert_eq!(full_report.epochs, resumed_report.epochs);
+        assert_eq!(full_report.best_epoch, resumed_report.best_epoch);
+        assert_eq!(
+            full_report.best_loss.to_bits(),
+            resumed_report.best_loss.to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let data = mm1_dataset(4, 15);
+        let path = tmp_path("mismatch");
+        let mut model = tiny_model();
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 2,
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            ..TrainConfig::default()
+        };
+        train(&mut model, &data, &[], &cfg).unwrap();
+
+        let mut other = tiny_model();
+        let bad = TrainConfig {
+            epochs: 2,
+            batch_size: 3, // differs from the checkpointed run
+            resume_from: Some(path.to_string_lossy().into_owned()),
+            ..TrainConfig::default()
+        };
+        let err = train(&mut other, &data, &[], &bad).unwrap_err();
+        assert!(
+            matches!(err, TrainError::IncompatibleResume(_)),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

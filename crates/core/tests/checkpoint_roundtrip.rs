@@ -1,0 +1,145 @@
+//! Property tests for checkpoint persistence: `save → load` must reproduce
+//! the parameter store, the full Adam state (step count + both moment
+//! vectors), and the normalizer bit-for-bit, and the checksum must reject
+//! any corrupted byte with a clear error.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routenet_core::checkpoint::CheckpointError;
+use routenet_core::prelude::*;
+use routenet_core::sample::TargetKpi;
+use routenet_netgraph::routing::shortest_path_routing;
+use routenet_netgraph::{generate, TrafficModel};
+use routenet_simnet::queueing::Mm1Network;
+
+/// Tiny M/M/1-labeled dataset (same recipe as the trainer's unit tests).
+fn dataset(n_samples: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generate::ring(5);
+    let routing = shortest_path_routing(&g).unwrap();
+    (0..n_samples)
+        .map(|i| {
+            let tm = routenet_netgraph::traffic::sample_traffic_matrix(
+                &g,
+                &routing,
+                &TrafficModel::Uniform { min_frac: 0.2 },
+                0.4,
+                &mut rng,
+            );
+            let net = Mm1Network::build(&g, &routing, &tm, 1_000.0);
+            let targets: Vec<TargetKpi> = net
+                .predict_all(&routing)
+                .into_iter()
+                .map(|p| TargetKpi {
+                    delay_s: p.mean_delay_s,
+                    jitter_s2: p.jitter_s2,
+                    drop_prob: 0.0,
+                })
+                .collect();
+            Sample {
+                scenario: Scenario {
+                    graph: g.clone(),
+                    routing: routing.clone(),
+                    traffic: tm,
+                },
+                targets,
+                topology: "Ring-5".into(),
+                intensity: 0.4,
+                seed: i as u64,
+            }
+        })
+        .collect()
+}
+
+/// Train briefly with checkpointing enabled and return the on-disk state —
+/// a realistic `TrainState` with non-trivial Adam moments and RNG state.
+fn trained_state(model_seed: u64, lr: f64, tag: &str) -> TrainState {
+    let data = dataset(4, model_seed ^ 0x5EED);
+    let mut model = RouteNet::new(RouteNetConfig {
+        link_state_dim: 6,
+        path_state_dim: 6,
+        readout_hidden: 12,
+        t_iterations: 2,
+        predict_jitter: true,
+        predict_drops: false,
+        seed: model_seed,
+    });
+    let path = std::env::temp_dir().join(format!(
+        "rn-ckpt-prop-{tag}-{model_seed}-{}.ckpt",
+        std::process::id()
+    ));
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 2,
+        lr,
+        shuffle_seed: model_seed,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..TrainConfig::default()
+    };
+    train(&mut model, &data[..3], &data[3..], &cfg).expect("training failed");
+    let state = TrainState::load(&path).expect("checkpoint loads");
+    std::fs::remove_file(&path).ok();
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn save_load_reproduces_state_bit_for_bit(
+        model_seed in 1u64..10_000,
+        lr in 1e-4f64..5e-3,
+    ) {
+        let state = trained_state(model_seed, lr, "rt");
+        let path = std::env::temp_dir().join(format!(
+            "rn-ckpt-prop-copy-{model_seed}-{}.ckpt",
+            std::process::id()
+        ));
+        state.save(&path).expect("save");
+        let back = TrainState::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        // Parameter store: names and every weight, exactly.
+        prop_assert_eq!(&back.params, &state.params);
+        prop_assert_eq!(&back.best_params, &state.best_params);
+        // Full Adam state: hyperparameters, step count, both moment vectors.
+        prop_assert_eq!(&back.opt, &state.opt);
+        prop_assert!(back.opt.steps() > 0, "optimizer never stepped");
+        // Normalizer and shuffle RNG state.
+        prop_assert_eq!(&back.norm, &state.norm);
+        prop_assert_eq!(back.rng, state.rng);
+        // Bookkeeping: loss curve, best epoch, trackers.
+        prop_assert_eq!(&back.epochs, &state.epochs);
+        prop_assert_eq!(back.epoch_next, state.epoch_next);
+        prop_assert_eq!(back.best_epoch, state.best_epoch);
+        prop_assert_eq!(back.best_loss().to_bits(), state.best_loss().to_bits());
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_rejected_by_checksum(
+        model_seed in 1u64..10_000,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let state = trained_state(model_seed, 1e-3, "flip");
+        let path = std::env::temp_dir().join(format!(
+            "rn-ckpt-prop-flip-{model_seed}-{}.ckpt",
+            std::process::id()
+        ));
+        state.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip one bit somewhere in the payload (past the header line).
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let span = bytes.len() - header_end;
+        let idx = header_end + ((span as f64 * flip_frac) as usize).min(span - 1);
+        bytes[idx] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+        let err = TrainState::load(&path).expect_err("corruption must be detected");
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "expected checksum mismatch, got: {err}"
+        );
+        prop_assert!(err.to_string().contains("crc32 mismatch"), "unclear error: {err}");
+    }
+}

@@ -1,8 +1,14 @@
 //! Dataset persistence: JSON-lines files (one sample per line).
+//!
+//! Writes go through [`routenet_core::checkpoint::atomic_write`] (temp
+//! sibling + fsync + rename), so an interrupted generation run can never
+//! leave a torn dataset file under the final name. Reads offer a strict
+//! mode (default: any bad line aborts the load) and a lenient mode that
+//! quarantines bad lines into a reported skip list — useful for salvaging
+//! datasets produced by older, non-atomic writers.
 
+use routenet_core::checkpoint::atomic_write;
 use routenet_core::sample::Sample;
-use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Errors while reading or writing datasets.
@@ -24,6 +30,12 @@ pub enum IoError {
         /// Validation message.
         msg: String,
     },
+    /// The final line is not newline-terminated: the writer was interrupted
+    /// mid-record, so the tail cannot be trusted.
+    TornTail {
+        /// 1-based line number of the unterminated line.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -32,6 +44,10 @@ impl std::fmt::Display for IoError {
             IoError::Fs(e) => write!(f, "io error: {e}"),
             IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             IoError::Invalid { index, msg } => write!(f, "invalid sample {index}: {msg}"),
+            IoError::TornTail { line } => write!(
+                f,
+                "torn tail at line {line}: final line is not newline-terminated"
+            ),
         }
     }
 }
@@ -44,40 +60,109 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Write samples as JSONL (one JSON object per line).
+/// Outcome of a lenient load: the recovered samples plus an account of
+/// everything that was quarantined.
+#[derive(Debug)]
+pub struct LenientLoad {
+    /// Samples that parsed and validated.
+    pub samples: Vec<Sample>,
+    /// Number of quarantined lines (parse/validation failures + torn tail).
+    pub skipped: usize,
+    /// The first error encountered, for diagnostics.
+    pub first_error: Option<IoError>,
+    /// True if the final line was missing its newline (interrupted write).
+    pub torn_tail: bool,
+}
+
+/// Write samples as JSONL (one JSON object per line) through the atomic
+/// writer: the file appears under `path` fully written or not at all.
 pub fn save_jsonl(path: impl AsRef<Path>, samples: &[Sample]) -> Result<(), IoError> {
-    let mut w = BufWriter::new(File::create(path)?);
+    let mut buf = Vec::new();
     for s in samples {
         // lint: allow(panic, reason = "in-memory numeric data always serializes; f64 is emitted as a literal")
         let line = serde_json::to_string(s).expect("samples serialize");
-        w.write_all(line.as_bytes())?;
-        w.write_all(b"\n")?;
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
     }
-    w.flush()?;
+    atomic_write(path, &buf)?;
     Ok(())
 }
 
+fn parse_line(line: &str, lineno: usize, index: usize) -> Result<Sample, IoError> {
+    let mut s: Sample = serde_json::from_str(line).map_err(|e| IoError::Parse {
+        line: lineno,
+        msg: e.to_string(),
+    })?;
+    s.finalize();
+    s.validate()
+        .map_err(|msg| IoError::Invalid { index, msg })?;
+    Ok(s)
+}
+
 /// Load samples from JSONL, rebuilding indices and validating each sample.
+/// Strict: the first bad line (or a torn, newline-less tail) aborts the
+/// load with an error. Use [`load_jsonl_lenient`] to salvage instead.
 pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<Sample>, IoError> {
-    let r = BufReader::new(File::open(path)?);
+    let content = std::fs::read_to_string(path)?;
+    let torn = torn_tail_line(&content);
     let mut out = Vec::new();
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
+    for (lineno, line) in content.lines().enumerate() {
+        if Some(lineno + 1) == torn {
+            return Err(IoError::TornTail { line: lineno + 1 });
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let mut s: Sample = serde_json::from_str(&line).map_err(|e| IoError::Parse {
-            line: lineno + 1,
-            msg: e.to_string(),
-        })?;
-        s.finalize();
-        s.validate().map_err(|msg| IoError::Invalid {
-            index: out.len(),
-            msg,
-        })?;
-        out.push(s);
+        out.push(parse_line(line, lineno + 1, out.len())?);
     }
     Ok(out)
+}
+
+/// Load samples from JSONL, quarantining bad lines instead of aborting.
+/// Unparseable or invalid lines — and a torn (newline-less) final line —
+/// are counted in [`LenientLoad::skipped`] with the first error retained;
+/// every salvageable sample is returned. Filesystem errors still fail.
+pub fn load_jsonl_lenient(path: impl AsRef<Path>) -> Result<LenientLoad, IoError> {
+    let content = std::fs::read_to_string(path)?;
+    let torn = torn_tail_line(&content);
+    let mut report = LenientLoad {
+        samples: Vec::new(),
+        skipped: 0,
+        first_error: None,
+        torn_tail: false,
+    };
+    for (lineno, line) in content.lines().enumerate() {
+        if Some(lineno + 1) == torn {
+            // An unterminated final line means the writer died mid-record;
+            // even if the fragment parses, it cannot be trusted.
+            report.torn_tail = true;
+            report.skipped += 1;
+            report
+                .first_error
+                .get_or_insert(IoError::TornTail { line: lineno + 1 });
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, lineno + 1, report.samples.len()) {
+            Ok(s) => report.samples.push(s),
+            Err(e) => {
+                report.skipped += 1;
+                report.first_error.get_or_insert(e);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// 1-based line number of a non-empty final line missing its newline
+/// terminator, if any.
+fn torn_tail_line(content: &str) -> Option<usize> {
+    if content.is_empty() || content.ends_with('\n') {
+        return None;
+    }
+    Some(content.lines().count())
 }
 
 #[cfg(test)]
@@ -117,6 +202,25 @@ mod tests {
     }
 
     #[test]
+    fn save_replaces_existing_file_atomically() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.jsonl");
+        save_jsonl(&path, &ds).unwrap();
+        save_jsonl(&path, &ds[..1]).unwrap();
+        assert_eq!(load_jsonl(&path).unwrap().len(), 1);
+        // The temp sibling never survives a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn load_rejects_garbage() {
         let dir = std::env::temp_dir().join(format!("rn-io-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -151,5 +255,79 @@ mod tests {
             Err(IoError::Fs(_)) => {}
             other => panic!("expected fs error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn strict_load_rejects_torn_tail() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let good = serde_json::to_string(&ds[0]).unwrap();
+        // A second record cut off mid-write, with no trailing newline.
+        let content = format!("{good}\n{}", &good[..good.len() / 2]);
+        std::fs::write(&path, content).unwrap();
+        match load_jsonl(&path) {
+            Err(IoError::TornTail { line: 2 }) => {}
+            other => panic!("expected torn tail, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_load_quarantines_bad_lines() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-lenient-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.jsonl");
+        let good = serde_json::to_string(&ds[0]).unwrap();
+        let content = format!("{good}\n{{corrupt}}\n{good}\n");
+        std::fs::write(&path, content).unwrap();
+        let report = load_jsonl_lenient(&path).unwrap();
+        assert_eq!(report.samples.len(), 2);
+        assert_eq!(report.skipped, 1);
+        assert!(!report.torn_tail);
+        match report.first_error {
+            Some(IoError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_load_quarantines_torn_tail() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-lt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let good = serde_json::to_string(&ds[0]).unwrap();
+        // The torn fragment is quarantined even when it happens to parse:
+        // here it is a full record missing only its newline.
+        let content = format!("{good}\n{good}");
+        std::fs::write(&path, content).unwrap();
+        let report = load_jsonl_lenient(&path).unwrap();
+        assert_eq!(report.samples.len(), 1);
+        assert_eq!(report.skipped, 1);
+        assert!(report.torn_tail);
+        match report.first_error {
+            Some(IoError::TornTail { line: 2 }) => {}
+            other => panic!("expected torn tail at line 2, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_load_of_clean_file_reports_nothing() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-clean-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.jsonl");
+        save_jsonl(&path, &ds).unwrap();
+        let report = load_jsonl_lenient(&path).unwrap();
+        assert_eq!(report.samples.len(), ds.len());
+        assert_eq!(report.skipped, 0);
+        assert!(report.first_error.is_none());
+        assert!(!report.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

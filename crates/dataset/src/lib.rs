@@ -27,5 +27,5 @@ pub mod io;
 pub mod split;
 
 pub use gen::{generate_dataset, generate_sample, GenConfig, RoutingDiversity, TopologySpec};
-pub use io::{load_jsonl, save_jsonl};
+pub use io::{load_jsonl, load_jsonl_lenient, save_jsonl, IoError, LenientLoad};
 pub use split::{generate_paper_datasets, PaperDatasets, ProtocolConfig};

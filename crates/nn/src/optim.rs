@@ -2,6 +2,7 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 /// Scale gradients so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
@@ -60,7 +61,10 @@ impl Sgd {
 }
 
 /// Adam (Kingma & Ba, 2015) with bias correction.
-#[derive(Debug)]
+///
+/// The full optimizer state — step count and both moment vectors — is
+/// serializable so a training checkpoint can resume bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f64,
@@ -100,6 +104,16 @@ impl Adam {
     /// Number of update steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// First-moment estimates, one slot per parameter (None = untouched).
+    pub fn first_moments(&self) -> &[Option<Tensor>] {
+        &self.m
+    }
+
+    /// Second-moment estimates, one slot per parameter (None = untouched).
+    pub fn second_moments(&self) -> &[Option<Tensor>] {
+        &self.v
     }
 
     /// Apply one update step.

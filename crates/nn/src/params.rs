@@ -15,14 +15,17 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParamId(pub(crate) usize);
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ParamEntry {
     name: String,
     tensor: Tensor,
 }
 
 /// Named collection of trainable tensors.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares names and tensor contents positionally with exact
+/// float equality — used by checkpoint/resume tests to prove runs identical.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ParamStore {
     entries: Vec<ParamEntry>,
 }

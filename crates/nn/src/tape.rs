@@ -56,12 +56,24 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    poisoned: bool,
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape {
+            nodes: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// True if any recorded node produced a non-finite value. A poisoned
+    /// tape still evaluates and differentiates (NaN/inf propagate), so the
+    /// caller — e.g. the trainer's divergence-recovery loop — can observe
+    /// the blow-up and roll back instead of crashing mid-run.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Number of recorded nodes.
@@ -84,7 +96,12 @@ impl Tape {
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
-        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        // Non-finite values are a runtime condition (divergence), not a
+        // programming error: record the poisoning instead of asserting so
+        // recovery loops can roll back to a good state.
+        if !value.all_finite() {
+            self.poisoned = true;
+        }
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
     }
@@ -275,7 +292,10 @@ impl Tape {
         for i in (0..=loss.0).rev() {
             // lint: allow(panic, reason = "i <= loss.0 < nodes.len() == grads.len()")
             let Some(g) = grads[i].take() else { continue };
-            debug_assert!(g.all_finite(), "non-finite gradient reached node {i}");
+            debug_assert!(
+                self.poisoned || g.all_finite(),
+                "non-finite gradient reached node {i} on a clean tape"
+            );
             self.accumulate(i, &g, &mut grads);
             grads[i] = Some(g); // lint: allow(panic, reason = "same in-bounds index as the take above")
         }
@@ -287,8 +307,13 @@ impl Tape {
     /// node, so `v.0 < i` for every operand.
     fn accumulate(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
         debug_assert!(i < self.nodes.len() && grads.len() == self.nodes.len());
-        let add_to = |grads: &mut [Option<Tensor>], v: Var, delta: Tensor| {
-            debug_assert!(delta.all_finite(), "non-finite partial for node {}", v.0);
+        let poisoned = self.poisoned;
+        let add_to = move |grads: &mut [Option<Tensor>], v: Var, delta: Tensor| {
+            debug_assert!(
+                poisoned || delta.all_finite(),
+                "non-finite partial for node {} on a clean tape",
+                v.0
+            );
             // lint: allow(panic, reason = "operand Vars predate node i, see INVARIANT above")
             match &mut grads[v.0] {
                 Some(existing) => existing.add_scaled(&delta, 1.0),

@@ -45,7 +45,8 @@ fn main() {
             verbose: true,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
 
     let mm1 = Mm1Baseline::default();
     println!("\n=== generalization to topologies ===");

@@ -40,7 +40,8 @@ fn main() {
             epochs: 18,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
 
     // Baseline scenario: moderate load.
     let base = data[0].scenario.clone();

@@ -45,7 +45,8 @@ fn main() {
             verbose: true,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
     println!(
         "best epoch {} with validation loss {:.4}",
         report.best_epoch, report.best_loss

@@ -35,7 +35,8 @@ fn main() {
             epochs: 15,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
 
     // ---- Fig. 4: Top-10 paths with more delay --------------------------
     let top = top_n_paths_by_delay(&model, sample, 10);

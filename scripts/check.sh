@@ -35,4 +35,10 @@ fi
 step "cargo test --workspace"
 cargo test --workspace -q
 
+# Resume-determinism smoke test: training 2 epochs, checkpointing, and
+# resuming for 2 more must be bit-identical to training 4 epochs straight.
+# Guards the crash-safety contract (see DESIGN.md "Failure model & recovery").
+step "resume-determinism smoke test"
+cargo test -q --test resume_determinism
+
 step "all checks passed"

@@ -48,7 +48,8 @@ fn pipeline_generate_train_predict() {
             batch_size: 4,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
     // Loss must drop substantially from the first epoch.
     let first = report.epochs.first().unwrap().train_loss;
     let best = report.best_loss;
@@ -74,7 +75,8 @@ fn pipeline_through_disk_checkpoint() {
             batch_size: 3,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
     let dir = std::env::temp_dir().join(format!("rn-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
@@ -156,7 +158,8 @@ fn routenet_transfers_across_graph_sizes() {
             batch_size: 4,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
     let mut other = GenConfig::new(
         TopologySpec::Synthetic {
             n: 10,
@@ -256,7 +259,8 @@ fn drop_head_learns_finite_buffer_losses() {
             batch_size: 4,
             ..TrainConfig::default()
         },
-    );
+    )
+    .expect("training failed");
     let ev = collect_predictions(&model, test_set);
     let (_, r) = ev.drop_summary().expect("model has a drop head");
     // Trained with MSE, compare against the zero predictor in MSE.

@@ -1,0 +1,95 @@
+//! End-to-end resume determinism: training interrupted at epoch k and
+//! resumed from its checkpoint must be indistinguishable — bit for bit —
+//! from a run that was never interrupted. This is the contract that makes
+//! checkpoints safe to rely on: resuming is not "approximately continuing",
+//! it is the same computation.
+
+use routenet_core::prelude::*;
+use routenet_dataset::gen::{generate_dataset_with_threads, GenConfig, TopologySpec};
+
+fn tiny_dataset(n: usize, seed: u64) -> Vec<Sample> {
+    let mut cfg = GenConfig::new(
+        TopologySpec::Synthetic {
+            n: 6,
+            topo_seed: 11,
+        },
+        n,
+        seed,
+    );
+    cfg.sim.duration_s = 60.0;
+    cfg.sim.warmup_s = 6.0;
+    generate_dataset_with_threads(&cfg, 1)
+}
+
+fn tiny_model() -> RouteNet {
+    RouteNet::new(RouteNetConfig {
+        link_state_dim: 8,
+        path_state_dim: 8,
+        readout_hidden: 16,
+        t_iterations: 2,
+        predict_jitter: true,
+        predict_drops: false,
+        seed: 7,
+    })
+}
+
+#[test]
+fn interrupted_plus_resumed_equals_straight_run() {
+    let data = tiny_dataset(8, 21);
+    let (train_set, val_set) = data.split_at(6);
+    let ckpt = std::env::temp_dir().join(format!("rn-e2e-resume-{}.ckpt", std::process::id()));
+
+    let base = TrainConfig {
+        epochs: 4,
+        batch_size: 2,
+        lr: 3e-3,
+        ..TrainConfig::default()
+    };
+
+    // Reference: 4 epochs, never interrupted.
+    let mut straight = tiny_model();
+    let straight_report = train(&mut straight, train_set, val_set, &base).unwrap();
+
+    // Interrupted: 2 epochs + checkpoint, then a fresh process-equivalent
+    // (a brand-new model instance) resumes for the remaining 2.
+    let mut first_half = tiny_model();
+    let cfg_half = TrainConfig {
+        epochs: 2,
+        checkpoint_path: Some(ckpt.to_string_lossy().into_owned()),
+        ..base.clone()
+    };
+    let half_report = train(&mut first_half, train_set, val_set, &cfg_half).unwrap();
+    assert_eq!(half_report.epochs.len(), 2);
+
+    let mut resumed = tiny_model();
+    let cfg_resume = TrainConfig {
+        epochs: 4,
+        resume_from: Some(ckpt.to_string_lossy().into_owned()),
+        ..base.clone()
+    };
+    let resumed_report = train(&mut resumed, train_set, val_set, &cfg_resume).unwrap();
+
+    // The loss curves agree to the last bit...
+    assert_eq!(straight_report.epochs.len(), 4);
+    assert_eq!(straight_report.epochs, resumed_report.epochs);
+    assert_eq!(straight_report.best_epoch, resumed_report.best_epoch);
+    assert_eq!(
+        straight_report.best_loss.to_bits(),
+        resumed_report.best_loss.to_bits()
+    );
+    // ...and so do the final parameters and the predictions they produce.
+    assert_eq!(straight.store(), resumed.store());
+    let p_straight: Vec<f64> = straight
+        .predict_scenario(&data[7].scenario)
+        .iter()
+        .map(|p| p.delay_s)
+        .collect();
+    let p_resumed: Vec<f64> = resumed
+        .predict_scenario(&data[7].scenario)
+        .iter()
+        .map(|p| p.delay_s)
+        .collect();
+    assert_eq!(p_straight, p_resumed);
+
+    std::fs::remove_file(&ckpt).ok();
+}
