@@ -13,9 +13,10 @@
 //! machine-readable JSON rendering.
 
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
-use rules::{AllowEntry, Diagnostic, InvariantEntry, RuleSet};
+use rules::{AllowEntry, Diagnostic, InvariantEntry, RuleSet, Severity};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -27,6 +28,28 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/model.rs",
     "crates/core/src/trainer.rs",
 ];
+
+/// Files whose loops are hot enough that per-iteration allocation is a
+/// finding: the autodiff tape/tensor kernels, the training loop, and the
+/// simulator event loop.
+pub const ALLOC_HOT_PATHS: &[&str] = &[
+    "crates/nn/src/tape.rs",
+    "crates/nn/src/tensor.rs",
+    "crates/core/src/trainer.rs",
+    "crates/simnet/src/sim.rs",
+];
+
+/// Crates whose iteration order feeds labels, features, or training order —
+/// nondeterministic hash iteration there breaks run-to-run reproducibility.
+const DETERMINISM_CRATES: &[&str] = &[
+    "crates/netgraph/",
+    "crates/simnet/",
+    "crates/dataset/",
+    "crates/core/",
+];
+
+/// Crates whose `Result`-returning public APIs must carry `#[must_use]`.
+const MUST_USE_CRATES: &[&str] = &["crates/core/", "crates/dataset/"];
 
 /// Directory components that exclude a file from analysis entirely.
 const SKIP_DIRS: &[&str] = &[
@@ -44,12 +67,42 @@ pub struct Report {
     pub invariants: Vec<InvariantEntry>,
     /// Every `// lint: allow(..)` justification in force.
     pub allows: Vec<AllowEntry>,
+    /// Findings suppressed by the committed baseline file.
+    pub baselined: usize,
 }
 
 impl Report {
     /// True when the tree is clean.
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Number of deny-level findings (the CI-failing kind).
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Apply `--deny RULE` / `--warn RULE` overrides on top of the registry
+    /// defaults.
+    pub fn apply_severity_overrides(&mut self, overrides: &[(String, Severity)]) {
+        for d in &mut self.diagnostics {
+            for (rule, sev) in overrides {
+                if d.rule == rule {
+                    d.severity = *sev;
+                }
+            }
+        }
     }
 
     /// Order diagnostics by `(file, line, rule)` so reports are stable
@@ -63,19 +116,33 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     }
 
-    /// Human-readable diagnostics, one `file:line: [rule] message` per line.
+    /// Human-readable diagnostics, one
+    /// `file:line: [rule] ID severity: message` per line.
     pub fn human(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
             out.push_str(&format!(
-                "{}:{}: [{}] {}\n",
-                d.file, d.line, d.rule, d.message
+                "{}:{}: [{}] {} {}: {}\n",
+                d.file,
+                d.line,
+                d.rule,
+                d.id(),
+                d.severity.as_str(),
+                d.message
             ));
         }
+        let baseline_note = if self.baselined > 0 {
+            format!(", {} baselined", self.baselined)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{} file(s) scanned, {} diagnostic(s), {} invariant(s) indexed ({} checked), {} allow justification(s)\n",
+            "{} file(s) scanned, {} diagnostic(s) ({} deny, {} warn{}), {} invariant(s) indexed ({} checked), {} allow justification(s)\n",
             self.files_scanned,
             self.diagnostics.len(),
+            self.deny_count(),
+            self.warn_count(),
+            baseline_note,
             self.invariants.len(),
             self.invariants.iter().filter(|i| i.checked).count(),
             self.allows.len(),
@@ -85,17 +152,28 @@ impl Report {
 
     /// Machine-readable JSON rendering (hand-rolled: this crate is
     /// dependency-free so it can never be broken by the code it audits).
+    /// Schema: `analyzer-report v2` — adds stable rule IDs, severities, and
+    /// a summary block over v1.
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"version\": 1,\n  \"files_scanned\": {},\n",
+            "  \"schema\": \"analyzer-report\",\n  \"version\": 2,\n  \"files_scanned\": {},\n",
             self.files_scanned
+        ));
+        out.push_str(&format!(
+            "  \"summary\": {{\"diagnostics\": {}, \"deny\": {}, \"warn\": {}, \"baselined\": {}}},\n",
+            self.diagnostics.len(),
+            self.deny_count(),
+            self.warn_count(),
+            self.baselined,
         ));
         out.push_str("  \"diagnostics\": [\n");
         for (i, d) in self.diagnostics.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                "    {{\"id\": {}, \"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(d.id()),
                 json_str(d.rule),
+                json_str(d.severity.as_str()),
                 json_str(&d.file),
                 d.line,
                 json_str(&d.message),
@@ -171,6 +249,102 @@ impl std::fmt::Display for AnalyzeError {
 
 impl std::error::Error for AnalyzeError {}
 
+/// A committed ratchet of known findings: `rule<TAB>count<TAB>file` lines
+/// under a `# analyzer-baseline v1` header. New findings beyond the recorded
+/// count fail the gate; fixed findings require shrinking the baseline so it
+/// only ever ratchets downward.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// `(rule, file) -> allowed finding count`.
+    entries: Vec<(String, String, usize)>,
+}
+
+impl Baseline {
+    /// Parse a baseline file. Blank lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (rule, count, file) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(c), Some(f)) if parts.next().is_none() => (r, c, f),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `rule<TAB>count<TAB>file`, got `{line}`",
+                        lineno + 1
+                    ));
+                }
+            };
+            if !rules::RULE_NAMES.contains(&rule) {
+                return Err(format!(
+                    "baseline line {}: unknown rule `{rule}`",
+                    lineno + 1
+                ));
+            }
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", lineno + 1))?;
+            b.entries.push((rule.to_string(), file.to_string(), count));
+        }
+        Ok(b)
+    }
+
+    /// Render a report's current findings as a baseline file.
+    pub fn render(report: &Report) -> String {
+        let mut counts: Vec<(String, String, usize)> = Vec::new();
+        for d in &report.diagnostics {
+            match counts
+                .iter_mut()
+                .find(|(r, f, _)| r == d.rule && f == &d.file)
+            {
+                Some((_, _, n)) => *n += 1,
+                None => counts.push((d.rule.to_string(), d.file.clone(), 1)),
+            }
+        }
+        counts.sort();
+        let mut out = String::from(
+            "# analyzer-baseline v1\n\
+             # One `rule<TAB>count<TAB>file` entry per known finding group.\n\
+             # This file only ratchets down: fixing a finding requires removing\n\
+             # its entry; new findings are never added here without review.\n",
+        );
+        for (rule, file, n) in counts {
+            out.push_str(&format!("{rule}\t{n}\t{file}\n"));
+        }
+        out
+    }
+
+    /// Remove up to the baselined count of findings per `(rule, file)` group
+    /// from `report` (bumping `report.baselined`), and return a list of stale
+    /// entries — groups whose recorded count exceeds what the analyzer now
+    /// finds. Stale entries are an error: the baseline must shrink with the
+    /// code so the ratchet can never mask a regression.
+    pub fn apply(&self, report: &mut Report) -> Vec<String> {
+        let mut stale = Vec::new();
+        for (rule, file, count) in &self.entries {
+            let mut removed = 0usize;
+            report.diagnostics.retain(|d| {
+                if removed < *count && d.rule == rule && &d.file == file {
+                    removed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            report.baselined += removed;
+            if removed < *count {
+                stale.push(format!(
+                    "baseline records {count} `{rule}` finding(s) in {file} but only {removed} remain — shrink the baseline"
+                ));
+            }
+        }
+        stale
+    }
+}
+
 /// Analyze the whole workspace rooted at `root` (the directory holding the
 /// top-level `Cargo.toml`). Scans `src/` and `crates/*/src/`; `tests/`,
 /// `benches/`, `examples/`, `fixtures/`, and `vendor/` are exempt, and
@@ -228,14 +402,23 @@ fn analyze_one(
 
 /// Rule selection by path: hot paths get the full audit, `src/bin/` binaries
 /// keep numeric rules but may panic, everything else is ordinary library code.
+/// The semantic families are then scoped on top: determinism in the crates
+/// that feed labels/features/training order, hot-loop allocation in the
+/// [`ALLOC_HOT_PATHS`] kernels, `#[must_use]` in core/dataset library code.
 fn rules_for(rel: &str) -> RuleSet {
-    if HOT_PATHS.iter().any(|h| rel.ends_with(h)) {
+    let is_bin = rel.contains("/bin/") || rel.ends_with("main.rs");
+    let mut rules = if HOT_PATHS.iter().any(|h| rel.ends_with(h)) {
         RuleSet::all()
-    } else if rel.contains("/bin/") || rel.ends_with("main.rs") {
+    } else if is_bin {
         RuleSet::binary()
     } else {
         RuleSet::library()
-    }
+    };
+    rules.determinism = DETERMINISM_CRATES.iter().any(|c| rel.starts_with(c));
+    rules.hot_loop_alloc = ALLOC_HOT_PATHS.iter().any(|h| rel.ends_with(h));
+    rules.must_use = !is_bin && MUST_USE_CRATES.iter().any(|c| rel.starts_with(c));
+    rules.error_discard = !is_bin;
+    rules
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzeError> {
@@ -294,22 +477,114 @@ mod tests {
     }
 
     #[test]
+    fn rules_for_scopes_semantic_families() {
+        // Determinism: label/feature/training-order crates only.
+        assert!(rules_for("crates/netgraph/src/routing.rs").determinism);
+        assert!(rules_for("crates/dataset/src/gen.rs").determinism);
+        assert!(!rules_for("crates/nn/src/tensor.rs").determinism);
+        // Hot-loop allocation: the kernel files only.
+        assert!(rules_for("crates/nn/src/tensor.rs").hot_loop_alloc);
+        assert!(rules_for("crates/core/src/trainer.rs").hot_loop_alloc);
+        assert!(!rules_for("crates/core/src/model.rs").hot_loop_alloc);
+        // must_use: core/dataset library code, never binaries.
+        assert!(rules_for("crates/core/src/checkpoint.rs").must_use);
+        assert!(rules_for("crates/dataset/src/io.rs").must_use);
+        assert!(!rules_for("crates/netgraph/src/graph.rs").must_use);
+        assert!(!rules_for("crates/core/src/bin/train.rs").must_use);
+        // error-discard: everywhere except binaries.
+        assert!(rules_for("crates/nn/src/tensor.rs").error_discard);
+        assert!(!rules_for("crates/bench/src/bin/fig2.rs").error_discard);
+    }
+
+    #[test]
     fn report_json_is_parseable_shape() {
         let mut r = Report {
             files_scanned: 1,
             ..Report::default()
         };
-        r.diagnostics.push(rules::Diagnostic {
-            rule: "panic",
-            file: "x.rs".into(),
-            line: 3,
-            message: "msg with \"quotes\"".into(),
-        });
+        r.diagnostics.push(rules::Diagnostic::new(
+            "panic",
+            "x.rs",
+            3,
+            "msg with \"quotes\"".into(),
+        ));
         let j = r.json();
+        assert!(j.contains("\"schema\": \"analyzer-report\""));
+        assert!(j.contains("\"version\": 2"));
         assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"id\": \"RN001\""));
+        assert!(j.contains("\"severity\": \"deny\""));
         assert!(j.contains("\\\"quotes\\\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        r.diagnostics.push(rules::Diagnostic::new(
+            "hot-loop-alloc",
+            "a.rs",
+            3,
+            "x".into(),
+        ));
+        r.diagnostics.push(rules::Diagnostic::new(
+            "hot-loop-alloc",
+            "a.rs",
+            9,
+            "y".into(),
+        ));
+        r.diagnostics
+            .push(rules::Diagnostic::new("panic", "b.rs", 1, "z".into()));
+        let text = Baseline::render(&r);
+        assert!(text.starts_with("# analyzer-baseline v1"));
+        assert!(text.contains("hot-loop-alloc\t2\ta.rs"));
+        assert!(text.contains("panic\t1\tb.rs"));
+
+        // Applying the freshly written baseline removes everything, no stale.
+        let b = Baseline::parse(&text).unwrap();
+        let stale = b.apply(&mut r);
+        assert!(stale.is_empty());
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.baselined, 3);
+
+        // A baseline over-recording findings is stale: the ratchet must shrink.
+        let mut r2 = Report::default();
+        r2.diagnostics.push(rules::Diagnostic::new(
+            "hot-loop-alloc",
+            "a.rs",
+            3,
+            "x".into(),
+        ));
+        let stale = b.apply(&mut r2);
+        assert_eq!(stale.len(), 2); // hot-loop-alloc count short + panic gone
+        assert!(stale[0].contains("shrink the baseline"));
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(Baseline::parse("no-tabs-here").is_err());
+        assert!(Baseline::parse("not-a-rule\t1\ta.rs").is_err());
+        assert!(Baseline::parse("panic\tmany\ta.rs").is_err());
+        assert!(Baseline::parse("# comment\n\npanic\t1\ta.rs").is_ok());
+    }
+
+    #[test]
+    fn severity_overrides_apply() {
+        let mut r = Report::default();
+        r.diagnostics.push(rules::Diagnostic::new(
+            "hot-loop-alloc",
+            "a.rs",
+            3,
+            "x".into(),
+        ));
+        assert_eq!(r.warn_count(), 1);
+        r.apply_severity_overrides(&[("hot-loop-alloc".to_string(), Severity::Deny)]);
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.warn_count(), 0);
     }
 }

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! routenet-analyzer --workspace [--root DIR] [--json FILE]
+//!                   [--deny RULE] [--warn RULE]
+//!                   [--baseline FILE | --write-baseline FILE]
 //! routenet-analyzer [--json FILE] FILE.rs [FILE.rs ...]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+//! Exit codes: 0 clean (no deny-level findings after baseline subtraction),
+//! 1 deny-level findings or a stale baseline, 2 usage or I/O error.
 
-use routenet_analyzer::{analyze_paths, analyze_workspace, find_workspace_root, Report};
+use routenet_analyzer::rules::{Severity, RULE_NAMES};
+use routenet_analyzer::{analyze_paths, analyze_workspace, find_workspace_root, Baseline, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,7 +19,22 @@ struct Args {
     workspace: bool,
     root: Option<PathBuf>,
     json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    severity_overrides: Vec<(String, Severity)>,
     paths: Vec<PathBuf>,
+}
+
+fn parse_rule_arg(flag: &str, value: Option<String>) -> Result<String, String> {
+    let rule = value.ok_or(format!("{flag} requires a rule-name argument"))?;
+    if RULE_NAMES.contains(&rule.as_str()) {
+        Ok(rule)
+    } else {
+        Err(format!(
+            "{flag}: unknown rule `{rule}` (known: {})",
+            RULE_NAMES.join(", ")
+        ))
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +42,9 @@ fn parse_args() -> Result<Args, String> {
         workspace: false,
         root: None,
         json: None,
+        baseline: None,
+        write_baseline: None,
+        severity_overrides: Vec::new(),
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -37,6 +59,24 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--json requires a file argument")?;
                 args.json = Some(PathBuf::from(v));
             }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a file argument")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it
+                    .next()
+                    .ok_or("--write-baseline requires a file argument")?;
+                args.write_baseline = Some(PathBuf::from(v));
+            }
+            "--deny" => {
+                let rule = parse_rule_arg("--deny", it.next())?;
+                args.severity_overrides.push((rule, Severity::Deny));
+            }
+            "--warn" => {
+                let rule = parse_rule_arg("--warn", it.next())?;
+                args.severity_overrides.push((rule, Severity::Warn));
+            }
             "--help" | "-h" => {
                 return Err(String::new()); // triggers usage, exit 2
             }
@@ -45,6 +85,9 @@ fn parse_args() -> Result<Args, String> {
             }
             path => args.paths.push(PathBuf::from(path)),
         }
+    }
+    if args.baseline.is_some() && args.write_baseline.is_some() {
+        return Err("--baseline and --write-baseline are mutually exclusive".to_string());
     }
     if args.workspace == args.paths.is_empty() {
         Ok(args)
@@ -57,7 +100,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: routenet-analyzer --workspace [--root DIR] [--json FILE]\n       routenet-analyzer [--json FILE] FILE.rs [FILE.rs ...]"
+        "usage: routenet-analyzer --workspace [--root DIR] [--json FILE]\n                          [--deny RULE] [--warn RULE]\n                          [--baseline FILE | --write-baseline FILE]\n       routenet-analyzer [--json FILE] FILE.rs [FILE.rs ...]"
     );
 }
 
@@ -88,7 +131,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match run(&args) {
+    let mut report = match run(&args) {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -101,6 +144,38 @@ fn main() -> ExitCode {
         eprintln!("error: no .rs files found to analyze");
         return ExitCode::from(2);
     }
+    report.apply_severity_overrides(&args.severity_overrides);
+    if let Some(path) = &args.write_baseline {
+        let text = Baseline::render(&report);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote baseline covering {} finding(s) to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut stale_baseline = Vec::new();
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("error: {}: {msg}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        stale_baseline = baseline.apply(&mut report);
+    }
     if let Some(json_path) = &args.json {
         if let Err(e) = std::fs::write(json_path, report.json()) {
             eprintln!("error: cannot write {}: {e}", json_path.display());
@@ -108,9 +183,12 @@ fn main() -> ExitCode {
         }
     }
     print!("{}", report.human());
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
+    for msg in &stale_baseline {
+        eprintln!("error: {msg}");
+    }
+    if report.deny_count() > 0 || !stale_baseline.is_empty() {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

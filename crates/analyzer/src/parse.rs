@@ -1,0 +1,496 @@
+//! Lightweight structural parse layer over the [`crate::lexer`] token stream.
+//!
+//! The token-level rules only need answers to structural questions — "is this
+//! token inside a loop body?", "is this variable a `HashMap`?", "does this
+//! `pub fn` return `Result` and carry `#[must_use]`?" — not a full AST. This
+//! module answers them with a single forward pass each:
+//!
+//! - [`build_blocks`]: every brace-delimited block with a coarse
+//!   [`BlockKind`], derived from the keyword that introduced it,
+//! - [`fn_items`]: function items with visibility, attributes, and whether
+//!   the return type mentions `Result`,
+//! - [`hash_aliases`] / [`hash_names`]: per-file resolution of which type
+//!   names and which variable/field names refer to `HashMap`/`HashSet`,
+//! - [`loop_ranges`]: token ranges executed once per iteration — `for` /
+//!   `while` / `loop` bodies plus the argument spans of iterator-adapter
+//!   closures (`.map(..)`, `.for_each(..)`, ...).
+//!
+//! All results are conservative: when the heuristics cannot classify a
+//! construct they fall back to "not a loop / not a hash / not an item", so
+//! downstream rules under-report rather than hallucinate.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Coarse classification of a brace-delimited block by the keyword that
+/// introduced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A function body.
+    Fn,
+    /// A `for` / `while` / `loop` body.
+    Loop,
+    /// A `match` body (the arm list; arm blocks are [`BlockKind::Other`]).
+    Match,
+    /// A `struct` / `enum` / `union` / `impl` / `mod` / `trait` body.
+    Item,
+    /// Anything else: `if` / `else` arms, bare blocks, closures, literals.
+    Other,
+}
+
+/// One brace-delimited block.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// What introduced the block.
+    pub kind: BlockKind,
+    /// Token index of the opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (`tokens.len()` when unbalanced).
+    pub close: usize,
+    /// Line of the opening `{`.
+    pub start_line: u32,
+    /// Line of the closing `}`.
+    pub end_line: u32,
+}
+
+/// A function item with the signature facts the rules need.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Declared `pub` (any visibility restriction such as `pub(crate)`
+    /// counts: the analyzer audits API shape, not reachability).
+    pub is_pub: bool,
+    /// Carries a `#[must_use]` attribute (with or without a message).
+    pub has_must_use: bool,
+    /// Return type mentions `Result`.
+    pub returns_result: bool,
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+}
+
+/// Structural facts for one file.
+#[derive(Debug)]
+pub struct Parsed {
+    /// Every brace block, in closing order.
+    pub blocks: Vec<Block>,
+    /// Every function item (including nested functions).
+    pub fns: Vec<FnItem>,
+    /// Type names that refer to `HashMap`/`HashSet` in this file
+    /// (the bare names plus `use .. as ..` renames and `type` aliases).
+    pub hash_aliases: Vec<String>,
+    /// Variable, parameter, and field names with a hash-typed declaration.
+    pub hash_names: Vec<String>,
+    /// Token ranges `(start, end)` executed once per loop iteration.
+    pub loop_ranges: Vec<(usize, usize)>,
+}
+
+/// Run every structural pass over one file's tokens.
+pub fn parse(tokens: &[Token]) -> Parsed {
+    let blocks = build_blocks(tokens);
+    let fns = fn_items(tokens);
+    let hash_aliases = hash_aliases(tokens);
+    let hash_names = hash_names(tokens, &hash_aliases);
+    let loop_ranges = loop_ranges(tokens, &blocks);
+    Parsed {
+        blocks,
+        fns,
+        hash_aliases,
+        hash_names,
+        loop_ranges,
+    }
+}
+
+/// Keywords that put a block kind "on deck" for the next `{`.
+fn pending_kind(text: &str) -> Option<BlockKind> {
+    match text {
+        "fn" => Some(BlockKind::Fn),
+        "for" | "while" | "loop" => Some(BlockKind::Loop),
+        "match" => Some(BlockKind::Match),
+        "struct" | "enum" | "union" | "impl" | "mod" | "trait" => Some(BlockKind::Item),
+        _ => None,
+    }
+}
+
+/// Scan the token stream once, classifying every `{ .. }` block.
+///
+/// A keyword sets a pending kind which the next `{` claims; `;` clears it
+/// (`struct S;`, trait method declarations). Later keywords never override an
+/// earlier pending kind, so `impl Trait for T {` stays [`BlockKind::Item`]
+/// and `fn f<F: for<'a> Fn(..)>() {` stays [`BlockKind::Fn`].
+pub fn build_blocks(tokens: &[Token]) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut stack: Vec<(BlockKind, usize)> = Vec::new();
+    let mut pending: Option<BlockKind> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident {
+            if let Some(kind) = pending_kind(&t.text) {
+                if pending.is_none() || kind == BlockKind::Fn {
+                    pending = Some(kind);
+                }
+                continue;
+            }
+        }
+        match t.text.as_str() {
+            ";" => pending = None,
+            "{" => stack.push((pending.take().unwrap_or(BlockKind::Other), i)),
+            "}" => {
+                if let Some((kind, open)) = stack.pop() {
+                    blocks.push(Block {
+                        kind,
+                        open,
+                        close: i,
+                        start_line: tokens[open].line,
+                        end_line: t.line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced leftovers (lexer saw EOF first): close at end of stream.
+    while let Some((kind, open)) = stack.pop() {
+        blocks.push(Block {
+            kind,
+            open,
+            close: tokens.len(),
+            start_line: tokens[open].line,
+            end_line: tokens.last().map_or(tokens[open].line, |t| t.line),
+        });
+    }
+    blocks
+}
+
+/// Extract function items with visibility, `#[must_use]`, and return type.
+pub fn fn_items(tokens: &[Token]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    // Attribute spans and a `pub` seen since the last non-modifier token.
+    let mut pending_attrs: Vec<(usize, usize)> = Vec::new();
+    let mut pending_pub = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "#" {
+            let end = crate::rules::skip_attr(tokens, i);
+            pending_attrs.push((i, end));
+            i = end;
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            match t.text.as_str() {
+                "pub" => {
+                    pending_pub = true;
+                    i += 1;
+                    if matches!(tokens.get(i), Some(n) if n.text == "(") {
+                        i = crate::rules::skip_balanced(tokens, i, "(", ")");
+                    }
+                    continue;
+                }
+                // Modifiers between visibility and `fn` keep the pending state.
+                "const" | "unsafe" | "async" | "extern" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(n) if n.kind == TokenKind::Str) {
+                        i += 1; // extern "C"
+                    }
+                    continue;
+                }
+                "fn" => {
+                    if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                        let has_must_use = pending_attrs.iter().any(|&(a, b)| {
+                            tokens[a..b.min(tokens.len())]
+                                .iter()
+                                .any(|t| t.text == "must_use")
+                        });
+                        fns.push(FnItem {
+                            name: name.text.clone(),
+                            is_pub: pending_pub,
+                            has_must_use,
+                            returns_result: signature_returns_result(tokens, i + 2),
+                            sig_line: t.line,
+                        });
+                    }
+                    pending_attrs.clear();
+                    pending_pub = false;
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending_attrs.clear();
+        pending_pub = false;
+        i += 1;
+    }
+    fns
+}
+
+/// Does the signature starting after `fn <name>` declare a `Result` return?
+/// Scans `-> ..` up to the body `{`, a `;`, or a `where` clause.
+fn signature_returns_result(tokens: &[Token], from: usize) -> bool {
+    let mut j = from;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut in_ret = false;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "->" if paren == 0 && bracket == 0 => in_ret = true,
+            "{" | ";" if paren == 0 && bracket == 0 => return false,
+            "where" if t.kind == TokenKind::Ident => return false,
+            "Result" if in_ret && t.kind == TokenKind::Ident => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Constructor names whose `Alias::ctor(..)` result is hash-typed.
+const HASH_CTORS: &[&str] = &["new", "with_capacity", "default", "from", "from_iter"];
+
+/// Type names that refer to `HashMap`/`HashSet` in this file: the bare names
+/// plus `use .. as R;` renames and `type A = HashMap<..>;` aliases.
+pub fn hash_aliases(tokens: &[Token]) -> Vec<String> {
+    let mut aliases: Vec<String> = HASH_TYPES.iter().map(|s| (*s).to_string()).collect();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `use ..::HashMap as Map;` (also inside `{..}` groups).
+        if HASH_TYPES.contains(&t.text.as_str())
+            && matches!(tokens.get(i + 1), Some(a) if a.text == "as")
+        {
+            if let Some(r) = tokens.get(i + 2).filter(|r| r.kind == TokenKind::Ident) {
+                if !aliases.contains(&r.text) {
+                    aliases.push(r.text.clone());
+                }
+            }
+        }
+        // `type Alias = .. HashMap .. ;`
+        if t.text == "type" {
+            if let (Some(name), Some(eq)) = (tokens.get(i + 1), tokens.get(i + 2)) {
+                if name.kind == TokenKind::Ident && eq.text == "=" {
+                    let mut j = i + 3;
+                    while let Some(t2) = tokens.get(j) {
+                        if t2.text == ";" {
+                            break;
+                        }
+                        if HASH_TYPES.contains(&t2.text.as_str()) && !aliases.contains(&name.text) {
+                            aliases.push(name.text.clone());
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    aliases
+}
+
+/// Identifier names declared with a hash type: `name: HashMap<..>` ascriptions
+/// (locals, params, struct fields) and `let name = HashMap::new()` forms.
+pub fn hash_names(tokens: &[Token], aliases: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut push = |n: &str| {
+        if !names.iter().any(|x: &String| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !aliases.iter().any(|a| a == &t.text) {
+            continue;
+        }
+        // Walk backward over the type prefix: path segments, `&`, `mut`,
+        // lifetimes. `Vec<HashMap<..>>` stops at `<` — the *outer* binding is
+        // not hash-typed, so it is correctly skipped.
+        let mut j = i;
+        while j >= 2 && tokens[j - 1].text == "::" {
+            j -= 2;
+        }
+        while j >= 1
+            && (tokens[j - 1].text == "&"
+                || tokens[j - 1].text == "mut"
+                || tokens[j - 1].kind == TokenKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && tokens[j - 1].text == ":" && tokens[j - 2].kind == TokenKind::Ident {
+            push(&tokens[j - 2].text);
+            continue;
+        }
+        // `let [mut] name = [path::]Alias::ctor(..)`.
+        let is_ctor = matches!(tokens.get(i + 1), Some(c) if c.text == "::")
+            && matches!(tokens.get(i + 2), Some(m) if HASH_CTORS.contains(&m.text.as_str()));
+        if is_ctor && j >= 2 && tokens[j - 1].text == "=" && tokens[j - 2].kind == TokenKind::Ident
+        {
+            let name = &tokens[j - 2].text;
+            if name != "mut" && name != "let" {
+                push(name);
+            }
+        }
+    }
+    names
+}
+
+/// Iterator adapters that take a closure executed once per element.
+const ADAPTERS: &[&str] = &[
+    "map",
+    "for_each",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "try_fold",
+    "scan",
+    "retain",
+    "map_while",
+    "inspect",
+];
+
+/// Token ranges executed once per iteration: loop bodies plus the argument
+/// spans of iterator-adapter calls.
+pub fn loop_ranges(tokens: &[Token], blocks: &[Block]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = blocks
+        .iter()
+        .filter(|b| b.kind == BlockKind::Loop)
+        .map(|b| (b.open, b.close))
+        .collect();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && ADAPTERS.contains(&t.text.as_str())
+            && i > 0
+            && tokens[i - 1].text == "."
+            && matches!(tokens.get(i + 1), Some(p) if p.text == "(")
+        {
+            let end = crate::rules::skip_balanced(tokens, i + 1, "(", ")");
+            ranges.push((i + 1, end));
+        }
+    }
+    ranges.sort_unstable();
+    ranges
+}
+
+/// Is token index `i` inside any of `ranges` (exclusive of the delimiters)?
+pub fn in_ranges(i: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(a, b)| i > a && i < b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Parsed {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn block_kinds_classified() {
+        let p = parse_src(
+            "fn f() { for x in v { match x { _ => { } } } } struct S { a: u32 } impl S { }",
+        );
+        let kinds: Vec<BlockKind> = {
+            let mut bs = p.blocks.clone();
+            bs.sort_by_key(|b| b.open);
+            bs.iter().map(|b| b.kind).collect()
+        };
+        assert_eq!(
+            kinds,
+            vec![
+                BlockKind::Fn,
+                BlockKind::Loop,
+                BlockKind::Match,
+                BlockKind::Other,
+                BlockKind::Item,
+                BlockKind::Item,
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_is_item_not_loop() {
+        let p = parse_src("impl Display for S { fn fmt(&self) { } }");
+        let mut bs = p.blocks.clone();
+        bs.sort_by_key(|b| b.open);
+        assert_eq!(bs[0].kind, BlockKind::Item);
+        assert_eq!(bs[1].kind, BlockKind::Fn);
+    }
+
+    #[test]
+    fn struct_with_semicolon_clears_pending() {
+        let p = parse_src("struct S; fn f() { }");
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0].kind, BlockKind::Fn);
+    }
+
+    #[test]
+    fn fn_items_capture_pub_must_use_result() {
+        let src = "#[must_use = \"handle it\"]\npub fn a() -> Result<(), E> { }\nfn b() -> Result<u8, E>;\npub fn c() -> u32 { }";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 3);
+        assert!(p.fns[0].is_pub && p.fns[0].has_must_use && p.fns[0].returns_result);
+        assert!(!p.fns[1].is_pub && !p.fns[1].has_must_use && p.fns[1].returns_result);
+        assert!(p.fns[2].is_pub && !p.fns[2].returns_result);
+    }
+
+    #[test]
+    fn derive_attr_does_not_leak_onto_next_fn() {
+        let src = "#[derive(Debug)]\nstruct S;\npub fn f() -> Result<(), E> { }";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert!(!p.fns[0].has_must_use);
+    }
+
+    #[test]
+    fn result_in_params_is_not_a_result_return() {
+        let p = parse_src("pub fn f(r: Result<u8, E>) -> u32 { 0 }");
+        assert!(!p.fns[0].returns_result);
+    }
+
+    #[test]
+    fn hash_aliases_resolve_renames_and_type_aliases() {
+        let src =
+            "use std::collections::{HashMap as Map, HashSet};\ntype Index = HashMap<u32, u32>;";
+        let p = parse_src(src);
+        for a in ["HashMap", "HashSet", "Map", "Index"] {
+            assert!(p.hash_aliases.iter().any(|x| x == a), "missing {a}");
+        }
+    }
+
+    #[test]
+    fn hash_names_from_ascription_ctor_and_field() {
+        let src = "struct S { edges: HashSet<(u32, u32)> }\nfn f(m: &HashMap<u32, u32>) { let mut seen = HashSet::new(); let v: Vec<HashMap<u8, u8>> = Vec::new(); }";
+        let p = parse_src(src);
+        for n in ["edges", "m", "seen"] {
+            assert!(p.hash_names.iter().any(|x| x == n), "missing {n}");
+        }
+        // The Vec<HashMap<..>> binding itself is not hash-typed.
+        assert!(!p.hash_names.iter().any(|x| x == "v"));
+    }
+
+    #[test]
+    fn loop_ranges_cover_bodies_and_adapter_closures() {
+        let src = "fn f(v: &[u32]) { for x in v { touch(x); } let s: u32 = v.iter().map(|x| x + 1).sum(); }";
+        let tokens = lex(src).tokens;
+        let p = parse(&tokens);
+        let touch = tokens.iter().position(|t| t.text == "touch").unwrap();
+        let plus = tokens.iter().position(|t| t.text == "+").unwrap();
+        let sum = tokens.iter().position(|t| t.text == "sum").unwrap();
+        assert!(in_ranges(touch, &p.loop_ranges));
+        assert!(in_ranges(plus, &p.loop_ranges));
+        assert!(!in_ranges(sum, &p.loop_ranges));
+    }
+
+    #[test]
+    fn labeled_loop_is_a_loop() {
+        let src = "fn f() { 'outer: while go() { step(); } }";
+        let tokens = lex(src).tokens;
+        let p = parse(&tokens);
+        let step = tokens.iter().position(|t| t.text == "step").unwrap();
+        assert!(in_ranges(step, &p.loop_ranges));
+    }
+}

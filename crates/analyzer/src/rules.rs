@@ -1,7 +1,7 @@
-//! Rule passes over the token/comment streams produced by [`crate::lexer`].
+//! Rule passes over the token/comment streams produced by [`crate::lexer`],
+//! with structural context from [`crate::parse`].
 //!
-//! Five rules, each identified by the name used in `// lint: allow(..)`
-//! directives:
+//! Token-level rules:
 //!
 //! | rule        | flags |
 //! |-------------|-------|
@@ -11,13 +11,112 @@
 //! | `cast`      | narrowing integer casts; `as usize`-family casts inside index brackets; float-literal → integer casts |
 //! | `invariant` | `// INVARIANT:` comments whose function has no `debug_assert!` |
 //!
-//! Suppression: `// lint: allow(<rule>, reason = "...")` on the same line or
-//! the line directly above. The reason is mandatory — an allow without one is
-//! itself reported (rule `lint-syntax`).
+//! Semantic rule families (need the parse layer):
+//!
+//! | rule             | flags |
+//! |------------------|-------|
+//! | `determinism`    | iteration over `HashMap`/`HashSet` (hash order feeds labels/features/training order) unless the statement sorts the result or collects into an ordered type |
+//! | `error-discard`  | `let _ = <call>;`, bare `.ok();`, and `pub fn .. -> Result` without `#[must_use]` in the crates whose errors gate correctness |
+//! | `hot-loop-alloc` | `Vec::new` / `vec!` / `.clone()` / `.to_vec()` / `format!` / `.to_string()` / `.to_owned()` inside loop bodies or iterator-adapter closures of hot-path files |
+//!
+//! Suppression: `// lint: allow(<rule>, reason = "...")`. A trailing
+//! directive covers its own line; a standalone directive covers the next
+//! statement — and, when that statement opens a block, the whole block/item.
+//! The reason is mandatory — an allow without one is itself reported (rule
+//! `lint-syntax`), and an allow that suppresses nothing is reported as
+//! `lint-stale`.
 
 use crate::lexer::{Comment, Lexed, Token, TokenKind};
+use crate::parse::{self, Parsed};
 
-/// All rule names, in report order.
+/// Severity of a finding. `Deny` findings fail the gate; `Warn` findings are
+/// reported but do not affect the exit code. Defaults come from [`RULES`] and
+/// can be overridden per rule with `--deny` / `--warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate.
+    Deny,
+    /// Reported only.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase name used in reports and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// Static registry entry for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name, as used in `lint: allow(..)` and CLI flags.
+    pub name: &'static str,
+    /// Stable ID carried in the JSON report (`RN0xx` core, `RN1xx` semantic).
+    pub id: &'static str,
+    /// Severity when no CLI override is given.
+    pub default_severity: Severity,
+}
+
+/// The rule registry. IDs are append-only: a retired rule's ID is never
+/// reused, so report consumers can rely on them across versions.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "panic",
+        id: "RN001",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "float-eq",
+        id: "RN002",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "nan",
+        id: "RN003",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "cast",
+        id: "RN004",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "invariant",
+        id: "RN005",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "lint-syntax",
+        id: "RN006",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "lint-stale",
+        id: "RN007",
+        default_severity: Severity::Warn,
+    },
+    RuleInfo {
+        name: "determinism",
+        id: "RN101",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "error-discard",
+        id: "RN102",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "hot-loop-alloc",
+        id: "RN103",
+        default_severity: Severity::Warn,
+    },
+];
+
+/// All rule names, in registry order.
 pub const RULE_NAMES: &[&str] = &[
     "panic",
     "float-eq",
@@ -25,7 +124,22 @@ pub const RULE_NAMES: &[&str] = &[
     "cast",
     "invariant",
     "lint-syntax",
+    "lint-stale",
+    "determinism",
+    "error-discard",
+    "hot-loop-alloc",
 ];
+
+/// Registry entry for `rule` (`None` for unknown names).
+pub fn rule_info(rule: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == rule)
+}
+
+/// Stable ID for `rule` (`"RN000"` for unknown names, which never leave the
+/// analyzer's own tests).
+pub fn rule_id(rule: &str) -> &'static str {
+    rule_info(rule).map_or("RN000", |r| r.id)
+}
 
 /// One finding, pointing at `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +152,26 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Effective severity (default from [`RULES`], may be overridden).
+    pub severity: Severity,
+}
+
+impl Diagnostic {
+    /// Construct with the rule's default severity.
+    pub fn new(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            severity: rule_info(rule).map_or(Severity::Deny, |r| r.default_severity),
+        }
+    }
+
+    /// Stable ID of this finding's rule.
+    pub fn id(&self) -> &'static str {
+        rule_id(self.rule)
+    }
 }
 
 /// An `// INVARIANT:` annotation and whether its function checks it.
@@ -83,10 +217,19 @@ pub struct RuleSet {
     pub cast: bool,
     /// Check `// INVARIANT:` annotations.
     pub invariant: bool,
+    /// Flag unsorted `HashMap`/`HashSet` iteration (label/feature/training
+    /// order crates only).
+    pub determinism: bool,
+    /// Flag `let _ = <call>;` and bare `.ok();` discards.
+    pub error_discard: bool,
+    /// Flag `pub fn .. -> Result` without `#[must_use]` (core/dataset APIs).
+    pub must_use: bool,
+    /// Flag allocation in loop bodies (allocation-hot files only).
+    pub hot_loop_alloc: bool,
 }
 
 impl RuleSet {
-    /// Everything on — used for fixtures and hot-path files.
+    /// Everything on — used for fixtures and the analyzer's own tests.
     pub fn all() -> Self {
         RuleSet {
             panic_calls: true,
@@ -95,25 +238,50 @@ impl RuleSet {
             nan: true,
             cast: true,
             invariant: true,
+            determinism: true,
+            error_discard: true,
+            must_use: true,
+            hot_loop_alloc: true,
         }
     }
 
-    /// Default for ordinary library code: all rules except the
-    /// indexing audit, which is reserved for hot-path files.
+    /// Default for ordinary library code: the path-scoped audits
+    /// (indexing, determinism, must-use, hot-loop allocation) are off and
+    /// opted in per path by `rules_for`.
     pub fn library() -> Self {
         RuleSet {
             panic_indexing: false,
+            determinism: false,
+            must_use: false,
+            hot_loop_alloc: false,
             ..RuleSet::all()
         }
     }
 
-    /// Binaries (`src/bin/`) may panic: CLI tools fail loudly by design.
-    /// Numeric discipline still applies.
+    /// Binaries (`src/bin/`) may panic and discard errors: CLI tools fail
+    /// loudly by design. Numeric discipline still applies.
     pub fn binary() -> Self {
         RuleSet {
             panic_calls: false,
-            panic_indexing: false,
-            ..RuleSet::all()
+            error_discard: false,
+            ..RuleSet::library()
+        }
+    }
+
+    /// Is `rule` enabled under this set? Used by stale-allow detection so a
+    /// directive for a rule that never runs here is not reported as stale.
+    pub fn enables(&self, rule: &str) -> bool {
+        match rule {
+            "panic" => self.panic_calls || self.panic_indexing,
+            "float-eq" => self.float_eq,
+            "nan" => self.nan,
+            "cast" => self.cast,
+            "invariant" => self.invariant,
+            "determinism" => self.determinism,
+            "error-discard" => self.error_discard || self.must_use,
+            "hot-loop-alloc" => self.hot_loop_alloc,
+            "lint-syntax" | "lint-stale" => true,
+            _ => false,
         }
     }
 }
@@ -134,6 +302,7 @@ pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
     let lexed = crate::lexer::lex(source);
     let test_spans = test_mod_spans(&lexed.tokens);
     let fns = function_spans(&lexed.tokens);
+    let parsed = parse::parse(&lexed.tokens);
     let directives = parse_directives(file, &lexed, &test_spans);
 
     let mut raw: Vec<Diagnostic> = directives.syntax_errors.clone();
@@ -149,11 +318,44 @@ pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
     if rules.cast {
         cast_rule(file, &lexed.tokens, &mut raw);
     }
+    if rules.determinism {
+        determinism_rule(file, &lexed.tokens, &parsed, &mut raw);
+    }
+    if rules.error_discard {
+        error_discard_rule(file, &lexed.tokens, &mut raw);
+    }
+    if rules.must_use {
+        must_use_rule(file, &parsed, &mut raw);
+    }
+    if rules.hot_loop_alloc {
+        hot_loop_alloc_rule(file, &lexed.tokens, &parsed, &mut raw);
+    }
 
     let mut invariants = Vec::new();
     if rules.invariant {
         invariant_rule(file, &lexed, &fns, &directives, &mut raw, &mut invariants);
     }
+
+    // Stale-allow detection against the *raw* findings (before test-span
+    // filtering, so an allow inside test code is never reported as stale).
+    let mut stale: Vec<Diagnostic> = Vec::new();
+    for span in &directives.allow_spans {
+        let matched = raw
+            .iter()
+            .any(|d| d.rule == span.rule && span.covers(d.line));
+        if !matched && rules.enables(&span.rule) && !in_spans(span.directive_line, &test_spans) {
+            stale.push(Diagnostic::new(
+                "lint-stale",
+                file,
+                span.directive_line,
+                format!(
+                    "lint: allow({}) suppressed nothing — remove the stale directive",
+                    span.rule
+                ),
+            ));
+        }
+    }
+    raw.extend(stale);
 
     let diagnostics = raw
         .into_iter()
@@ -172,9 +374,29 @@ pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
 // Directives: `lint: allow(..)` and `INVARIANT:` comments
 // ---------------------------------------------------------------------------
 
+/// Line coverage of one `lint: allow(..)` directive.
+#[derive(Debug)]
+struct AllowSpan {
+    rule: String,
+    /// Line of the directive comment (always covered, so trailing allows
+    /// keep working).
+    directive_line: u32,
+    /// First covered code line.
+    start: u32,
+    /// Last covered code line: equal to `start` for trailing directives,
+    /// extended to the end of the next statement — or of the block/item it
+    /// opens — for standalone directives.
+    end: u32,
+}
+
+impl AllowSpan {
+    fn covers(&self, line: u32) -> bool {
+        line == self.directive_line || (self.start..=self.end).contains(&line)
+    }
+}
+
 struct Directives {
-    /// (rule, directive line, effective code line)
-    allow_lines: Vec<(String, u32, u32)>,
+    allow_spans: Vec<AllowSpan>,
     allows: Vec<AllowEntry>,
     invariant_comments: Vec<Comment>,
     syntax_errors: Vec<Diagnostic>,
@@ -182,15 +404,15 @@ struct Directives {
 
 impl Directives {
     fn is_allowed(&self, rule: &str, line: u32) -> bool {
-        self.allow_lines
+        self.allow_spans
             .iter()
-            .any(|(r, dl, el)| r == rule && (line == *dl || line == *el))
+            .any(|s| s.rule == rule && s.covers(line))
     }
 }
 
 fn parse_directives(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)]) -> Directives {
     let mut d = Directives {
-        allow_lines: Vec::new(),
+        allow_spans: Vec::new(),
         allows: Vec::new(),
         invariant_comments: Vec::new(),
         syntax_errors: Vec::new(),
@@ -210,13 +432,7 @@ fn parse_directives(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)]) -> Dir
         };
         match parse_allow(rest.trim()) {
             Ok((rule, reason)) => {
-                let effective = lexed
-                    .tokens
-                    .iter()
-                    .map(|t| t.line)
-                    .find(|&l| l > c.line)
-                    .unwrap_or(c.line);
-                d.allow_lines.push((rule.clone(), c.line, effective));
+                d.allow_spans.push(allow_span(&rule, c.line, &lexed.tokens));
                 d.allows.push(AllowEntry {
                     file: file.to_string(),
                     line: c.line,
@@ -225,17 +441,79 @@ fn parse_directives(file: &str, lexed: &Lexed, test_spans: &[(u32, u32)]) -> Dir
                 });
             }
             Err(msg) if !in_spans(c.line, test_spans) => {
-                d.syntax_errors.push(Diagnostic {
-                    rule: "lint-syntax",
-                    file: file.to_string(),
-                    line: c.line,
-                    message: msg,
-                });
+                d.syntax_errors
+                    .push(Diagnostic::new("lint-syntax", file, c.line, msg));
             }
             Err(_) => {}
         }
     }
     d
+}
+
+/// Compute the line span a directive at `line` suppresses.
+///
+/// A trailing directive (code on the same line) covers its line plus the
+/// next code line, matching the historical behavior. A standalone directive
+/// covers the statement that follows it; when that statement opens a block
+/// (`fn`, `impl`, `for`, ...) the whole block/item is covered, and coverage
+/// stops at the block's closing brace — it never leaks to the next item.
+fn allow_span(rule: &str, line: u32, tokens: &[Token]) -> AllowSpan {
+    let trailing = tokens.iter().any(|t| t.line == line);
+    let Some(idx) = tokens.iter().position(|t| t.line > line) else {
+        return AllowSpan {
+            rule: rule.to_string(),
+            directive_line: line,
+            start: line,
+            end: line,
+        };
+    };
+    let start = tokens[idx].line;
+    if trailing {
+        return AllowSpan {
+            rule: rule.to_string(),
+            directive_line: line,
+            start,
+            end: start,
+        };
+    }
+    let mut end = start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = idx;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => {
+                let close = skip_balanced(tokens, j, "{", "}");
+                end = tokens
+                    .get(close.saturating_sub(1))
+                    .map_or(t.line, |t| t.line);
+                break;
+            }
+            ";" | "," if paren == 0 && bracket == 0 => {
+                end = t.line;
+                break;
+            }
+            "}" => {
+                // Closing the enclosing block: the covered statement was a
+                // tail expression.
+                end = t.line;
+                break;
+            }
+            _ => {}
+        }
+        end = t.line;
+        j += 1;
+    }
+    AllowSpan {
+        rule: rule.to_string(),
+        directive_line: line,
+        start,
+        end,
+    }
 }
 
 /// Parse `allow(<rule>, reason = "...")`. The reason is mandatory.
@@ -257,7 +535,7 @@ fn parse_allow(text: &str) -> Result<(String, String), String> {
     let rule = rule.trim().to_string();
     if !RULE_NAMES.contains(&rule.as_str()) {
         return Err(format!(
-            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant)"
+            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc)"
         ));
     }
     let reason = rest
@@ -335,7 +613,7 @@ fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
 }
 
 /// Given `tokens[i] == "#"`, return the index just past the attribute.
-fn skip_attr(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn skip_attr(tokens: &[Token], i: usize) -> usize {
     let mut j = i + 1;
     if matches!(tokens.get(j), Some(t) if t.text == "!") {
         j += 1;
@@ -349,7 +627,7 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
 
 /// Given `tokens[open]` is the opening delimiter, return the index just past
 /// its matching close (or `tokens.len()` when unbalanced).
-fn skip_balanced(tokens: &[Token], open: usize, open_t: &str, close_t: &str) -> usize {
+pub(crate) fn skip_balanced(tokens: &[Token], open: usize, open_t: &str, close_t: &str) -> usize {
     let mut depth = 0usize;
     let mut j = open;
     while j < tokens.len() {
@@ -445,28 +723,28 @@ fn panic_rule(file: &str, tokens: &[Token], rules: RuleSet, out: &mut Vec<Diagno
             let is_method =
                 prev.is_some_and(|p| p.text == ".") && next.is_some_and(|n| n.text == "(");
             if is_method && (t.text == "unwrap" || t.text == "expect") {
-                out.push(Diagnostic {
-                    rule: "panic",
-                    file: file.to_string(),
-                    line: t.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    "panic",
+                    file,
+                    t.line,
+                    format!(
                         ".{}() in library code — return a typed error or justify with `// lint: allow(panic, reason = \"...\")`",
                         t.text
                     ),
-                });
+                ));
             }
             let is_macro = next.is_some_and(|n| n.text == "!")
                 && !prev.is_some_and(|p| p.text == "." || p.text == "fn");
             if is_macro && PANIC_MACROS.contains(&t.text.as_str()) {
-                out.push(Diagnostic {
-                    rule: "panic",
-                    file: file.to_string(),
-                    line: t.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    "panic",
+                    file,
+                    t.line,
+                    format!(
                         "{}! in library code — return a typed error or justify with `// lint: allow(panic, reason = \"...\")`",
                         t.text
                     ),
-                });
+                ));
             }
         }
         if rules.panic_indexing && t.text == "[" {
@@ -476,12 +754,12 @@ fn panic_rule(file: &str, tokens: &[Token], rules: RuleSet, out: &mut Vec<Diagno
                     || prev.text == "]"
                     || prev.text == ")";
                 if indexable && !is_full_range_index(tokens, i) {
-                    out.push(Diagnostic {
-                        rule: "panic",
-                        file: file.to_string(),
-                        line: t.line,
-                        message: "bare slice indexing in hot-path code — use .get()/.get_mut(), prove the bound with a debug_assert! + allow, or restructure".to_string(),
-                    });
+                    out.push(Diagnostic::new(
+                        "panic",
+                        file,
+                        t.line,
+                        "bare slice indexing in hot-path code — use .get()/.get_mut(), prove the bound with a debug_assert! + allow, or restructure".to_string(),
+                    ));
                 }
             }
         }
@@ -516,15 +794,15 @@ fn float_eq_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
             _ => false,
         };
         if lhs_float || rhs_float {
-            out.push(Diagnostic {
-                rule: "float-eq",
-                file: file.to_string(),
-                line: t.line,
-                message: format!(
+            out.push(Diagnostic::new(
+                "float-eq",
+                file,
+                t.line,
+                format!(
                     "exact float comparison `{}` with a float literal — compare against an epsilon or justify with `// lint: allow(float-eq, reason = \"...\")`",
                     t.text
                 ),
-            });
+            ));
         }
     }
 }
@@ -553,14 +831,14 @@ fn nan_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
                 );
             if chained {
                 let sink = &tokens[after_args + 1].text;
-                out.push(Diagnostic {
-                    rule: "nan",
-                    file: file.to_string(),
-                    line: t.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    "nan",
+                    file,
+                    t.line,
+                    format!(
                         ".partial_cmp(..).{sink}(..) mishandles NaN — use f64::total_cmp or handle the None case"
                     ),
-                });
+                ));
             }
         }
         // Division by a literal zero always produces inf/NaN.
@@ -570,12 +848,12 @@ fn nan_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
                 Some(z) if z.kind == TokenKind::Float && is_zero_float_literal(&z.text)
             )
         {
-            out.push(Diagnostic {
-                rule: "nan",
-                file: file.to_string(),
-                line: t.line,
-                message: "division by literal 0.0 produces inf/NaN".to_string(),
-            });
+            out.push(Diagnostic::new(
+                "nan",
+                file,
+                t.line,
+                "division by literal 0.0 produces inf/NaN".to_string(),
+            ));
         }
     }
 }
@@ -623,26 +901,26 @@ fn cast_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
                     .is_some_and(|p| p.kind == TokenKind::Float);
                 let in_index = index_stack.last().copied().unwrap_or(false);
                 if NARROW_TARGETS.contains(&target.text.as_str()) {
-                    out.push(Diagnostic {
-                        rule: "cast",
-                        file: file.to_string(),
-                        line: t.line,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "cast",
+                        file,
+                        t.line,
+                        format!(
                             "potentially lossy `as {}` — use From/TryFrom or justify with `// lint: allow(cast, reason = \"...\")`",
                             target.text
                         ),
-                    });
+                    ));
                 } else if INDEX_TARGETS.contains(&target.text.as_str()) && (in_index || prev_float)
                 {
-                    out.push(Diagnostic {
-                        rule: "cast",
-                        file: file.to_string(),
-                        line: t.line,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "cast",
+                        file,
+                        t.line,
+                        format!(
                             "lossy `as {}` in indexing position — truncation silently redirects the access; bound-check first or justify with `// lint: allow(cast, reason = \"...\")`",
                             target.text
                         ),
-                    });
+                    ));
                 }
             }
             _ => {}
@@ -676,12 +954,12 @@ fn invariant_rule(
             });
         match owner {
             None => {
-                out.push(Diagnostic {
-                    rule: "invariant",
-                    file: file.to_string(),
-                    line: c.line,
-                    message: "INVARIANT comment is not attached to any function".to_string(),
-                });
+                out.push(Diagnostic::new(
+                    "invariant",
+                    file,
+                    c.line,
+                    "INVARIANT comment is not attached to any function".to_string(),
+                ));
                 index.push(InvariantEntry {
                     file: file.to_string(),
                     line: c.line,
@@ -700,15 +978,15 @@ fn invariant_rule(
                             && w[1].text == "!"
                     });
                 if !checked {
-                    out.push(Diagnostic {
-                        rule: "invariant",
-                        file: file.to_string(),
-                        line: c.line,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "invariant",
+                        file,
+                        c.line,
+                        format!(
                             "fn {} declares an INVARIANT but contains no debug_assert! backing it",
                             f.name
                         ),
-                    });
+                    ));
                 }
                 index.push(InvariantEntry {
                     file: file.to_string(),
@@ -718,6 +996,264 @@ fn invariant_rule(
                     checked,
                 });
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------------
+
+/// Methods whose iteration order on a hash collection is nondeterministic.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Collecting into these types re-establishes a deterministic order.
+const ORDERED_SINKS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+fn determinism_rule(file: &str, tokens: &[Token], parsed: &Parsed, out: &mut Vec<Diagnostic>) {
+    let is_hash = |t: &Token| {
+        t.kind == TokenKind::Ident
+            && (parsed.hash_names.iter().any(|n| n == &t.text)
+                || parsed.hash_aliases.iter().any(|a| a == &t.text))
+    };
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    let mut flag = |line: u32, what: &str, out: &mut Vec<Diagnostic>| {
+        if !flagged_lines.contains(&line) {
+            flagged_lines.push(line);
+            out.push(Diagnostic::new(
+                "determinism",
+                file,
+                line,
+                format!(
+                    "{what} iterates a HashMap/HashSet in nondeterministic order — labels, features, and training order must not depend on hash order; use BTreeMap/BTreeSet or sort the collected items"
+                ),
+            ));
+        }
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        // `for .. in <expr mentioning a hash binding> {`
+        if t.kind == TokenKind::Ident && t.text == "for" {
+            if let Some(in_idx) = find_for_in(tokens, i) {
+                let mut j = in_idx + 1;
+                let mut depth = 0i32;
+                while let Some(t2) = tokens.get(j) {
+                    match t2.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        ";" => break,
+                        _ => {}
+                    }
+                    if is_hash(t2) {
+                        flag(t.line, "for loop", out);
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        // `<hash>.iter()` / `.keys()` / ... unless the statement (or the one
+        // right after it) sorts the result or collects into an ordered type.
+        if is_hash(t)
+            && matches!(tokens.get(i + 1), Some(d) if d.text == ".")
+            && matches!(
+                tokens.get(i + 2),
+                Some(m) if m.kind == TokenKind::Ident && HASH_ITER_METHODS.contains(&m.text.as_str())
+            )
+            && matches!(tokens.get(i + 3), Some(p) if p.text == "(")
+            && !statement_restores_order(tokens, i)
+        {
+            let method = &tokens[i + 2].text;
+            flag(tokens[i + 2].line, &format!(".{method}()"), out);
+        }
+    }
+}
+
+/// For a `for` keyword at `i`, find its `in` token (depth-0), if any.
+fn find_for_in(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && t.kind == TokenKind::Ident => return Some(j),
+            // `impl Trait for Type {`, `for<'a>` bounds, or a lost cause.
+            "{" | ";" | "<" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does the statement containing token `i` — or the statement immediately
+/// after it — sort its result or collect into an ordered container?
+fn statement_restores_order(tokens: &[Token], i: usize) -> bool {
+    // Back up to the start of the statement.
+    let mut start = i;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.text == ";" || t.text == "{" || t.text == "}" {
+            break;
+        }
+        start -= 1;
+    }
+    let mut depth = 0i32;
+    let mut statements_seen = 0usize;
+    let mut j = start;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    break; // end of enclosing block
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => {
+                statements_seen += 1;
+                if statements_seen > 1 {
+                    break;
+                }
+            }
+            _ => {
+                if t.kind == TokenKind::Ident
+                    && (t.text.starts_with("sort") || ORDERED_SINKS.contains(&t.text.as_str()))
+                {
+                    return true;
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule: error-discard
+// ---------------------------------------------------------------------------
+
+fn error_discard_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        // `let _ = <expr with a call>;`
+        if t.kind == TokenKind::Ident
+            && t.text == "let"
+            && matches!(tokens.get(i + 1), Some(u) if u.text == "_")
+            && matches!(tokens.get(i + 2), Some(e) if e.text == "=")
+        {
+            let mut j = i + 3;
+            let mut depth = 0i32;
+            let mut has_call = false;
+            while let Some(t2) = tokens.get(j) {
+                match t2.text.as_str() {
+                    "(" => {
+                        has_call = true;
+                        depth += 1;
+                    }
+                    "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_call {
+                out.push(Diagnostic::new(
+                    "error-discard",
+                    file,
+                    t.line,
+                    "`let _ =` discards a fallible result — handle the error, propagate with `?`, or justify with `// lint: allow(error-discard, reason = \"...\")`".to_string(),
+                ));
+            }
+        }
+        // Bare `.ok();` — the Result is converted to Option and dropped.
+        if t.text == "."
+            && matches!(tokens.get(i + 1), Some(o) if o.kind == TokenKind::Ident && o.text == "ok")
+            && matches!(tokens.get(i + 2), Some(p) if p.text == "(")
+            && matches!(tokens.get(i + 3), Some(p) if p.text == ")")
+            && matches!(tokens.get(i + 4), Some(s) if s.text == ";")
+        {
+            out.push(Diagnostic::new(
+                "error-discard",
+                file,
+                tokens[i + 1].line,
+                "bare `.ok();` silently swallows the error — handle it, log it, or justify with `// lint: allow(error-discard, reason = \"...\")`".to_string(),
+            ));
+        }
+    }
+}
+
+fn must_use_rule(file: &str, parsed: &Parsed, out: &mut Vec<Diagnostic>) {
+    for f in &parsed.fns {
+        if f.is_pub && f.returns_result && !f.has_must_use {
+            out.push(Diagnostic::new(
+                "error-discard",
+                file,
+                f.sig_line,
+                format!(
+                    "pub fn {} returns Result without #[must_use = \"...\"] — callers can drop the error without any compiler pushback",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+/// Methods that allocate a fresh owned value per call.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned"];
+
+fn hot_loop_alloc_rule(file: &str, tokens: &[Token], parsed: &Parsed, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !parse::in_ranges(i, &parsed.loop_ranges) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        let next = tokens.get(i + 1);
+        let what = match t.text.as_str() {
+            "Vec" | "String"
+                if matches!(next, Some(n) if n.text == "::")
+                    && matches!(
+                        tokens.get(i + 2),
+                        Some(m) if m.text == "new" || m.text == "with_capacity" || m.text == "from"
+                    ) =>
+            {
+                Some(format!("{}::{}", t.text, tokens[i + 2].text))
+            }
+            "vec" | "format" if matches!(next, Some(n) if n.text == "!") => {
+                Some(format!("{}!", t.text))
+            }
+            m if ALLOC_METHODS.contains(&m)
+                && prev.is_some_and(|p| p.text == ".")
+                && matches!(next, Some(n) if n.text == "(") =>
+            {
+                Some(format!(".{m}()"))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(Diagnostic::new(
+                "hot-loop-alloc",
+                file,
+                t.line,
+                format!(
+                    "{what} allocates on every iteration of a hot loop — hoist the allocation out of the loop, reuse a buffer, or justify with `// lint: allow(hot-loop-alloc, reason = \"...\")`"
+                ),
+            ));
         }
     }
 }
@@ -877,5 +1413,170 @@ mod tests {
     fn strings_do_not_trigger_rules() {
         let src = "fn f() -> &'static str { \"call .unwrap() == 0.0\" }";
         assert!(run(src).diagnostics.is_empty());
+    }
+
+    fn rules_of(rep: &FileReport) -> Vec<&'static str> {
+        rep.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn determinism_flags_for_loop_and_methods() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> u32 {\n\
+                       let mut t = 0;\n\
+                       for v in m.values() { t += v; }\n\
+                       t\n\
+                   }";
+        let rep = run(src);
+        assert_eq!(rules_of(&rep), vec!["determinism"]);
+        assert_eq!(rep.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn determinism_sorted_escape_suppresses() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                       let mut ks: Vec<u32> = m.keys().copied().collect();\n\
+                       ks.sort_unstable();\n\
+                       ks\n\
+                   }";
+        assert!(
+            run(src).diagnostics.is_empty(),
+            "{:?}",
+            run(src).diagnostics
+        );
+    }
+
+    #[test]
+    fn determinism_respects_use_alias() {
+        let src = "use std::collections::HashMap as Fast;\n\
+                   fn f(m: &Fast<u32, u32>) -> usize {\n\
+                       m.iter().count()\n\
+                   }";
+        assert_eq!(rules_of(&run(src)), vec!["determinism"]);
+    }
+
+    #[test]
+    fn determinism_ignores_btree_and_vec() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, u32>, v: &Vec<u32>) -> usize {\n\
+                       let mut n = 0;\n\
+                       for x in m.values() { n += x; }\n\
+                       for x in v.iter() { n += x; }\n\
+                       n as usize\n\
+                   }";
+        assert!(!rules_of(&run(src)).contains(&"determinism"));
+    }
+
+    #[test]
+    fn error_discard_flags_let_underscore_and_bare_ok() {
+        let src = "fn f() {\n\
+                       let _ = std::fs::remove_file(\"x\");\n\
+                       std::fs::remove_file(\"y\").ok();\n\
+                   }";
+        let rep = run(src);
+        assert_eq!(rules_of(&rep), vec!["error-discard", "error-discard"]);
+        assert_eq!(rep.diagnostics[0].line, 2);
+        assert_eq!(rep.diagnostics[1].line, 3);
+    }
+
+    #[test]
+    fn error_discard_ignores_non_call_and_ok_chains() {
+        // `let _ = v[i];` has no call; `.ok()?` and `.ok().map(..)` use the
+        // Option rather than dropping it.
+        let src = "fn f(v: &[u32]) -> Option<u32> {\n\
+                       let _ = v.len();\n\
+                       let x = std::str::FromStr::from_str(\"1\").ok()?;\n\
+                       Some(x)\n\
+                   }";
+        let rep = run(src);
+        // v.len() IS a call and IS discarded — that one must still flag.
+        assert_eq!(rules_of(&rep), vec!["error-discard"]);
+        assert_eq!(rep.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn must_use_required_on_pub_result_fns() {
+        let flagged = run("pub fn f() -> Result<u32, String> { Ok(1) }");
+        assert_eq!(rules_of(&flagged), vec!["error-discard"]);
+        let private = run("fn f() -> Result<u32, String> { Ok(1) }");
+        assert!(private.diagnostics.is_empty());
+        let attributed = run("#[must_use = \"why\"]\npub fn f() -> Result<u32, String> { Ok(1) }");
+        assert!(attributed.diagnostics.is_empty());
+        let plain = run("pub fn f() -> u32 { 1 }");
+        assert!(plain.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn hot_loop_alloc_flags_only_inside_loops() {
+        let src = "fn f(names: &[String]) -> usize {\n\
+                       let hoisted = String::new();\n\
+                       let mut t = hoisted.len();\n\
+                       for n in names {\n\
+                           let c = n.clone();\n\
+                           t += c.len();\n\
+                       }\n\
+                       t\n\
+                   }";
+        let rep = run(src);
+        assert_eq!(rules_of(&rep), vec!["hot-loop-alloc"]);
+        assert_eq!(rep.diagnostics[0].line, 5);
+    }
+
+    #[test]
+    fn hot_loop_alloc_sees_iterator_adapter_closures() {
+        let src = "fn f(xs: &[u32]) -> usize {\n\
+                       xs.iter().map(|x| x.to_string()).count()\n\
+                   }";
+        assert_eq!(rules_of(&run(src)), vec!["hot-loop-alloc"]);
+    }
+
+    #[test]
+    fn allow_scopes_to_following_block_not_rest_of_file() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> u32 {\n\
+                       let mut t = 0;\n\
+                       // lint: allow(determinism, reason = \"sum is order-independent\")\n\
+                       for v in m.values() {\n\
+                           t += v;\n\
+                       }\n\
+                       for v in m.values() {\n\
+                           t += v;\n\
+                       }\n\
+                       t\n\
+                   }";
+        let rep = run(src);
+        // Only the second loop (outside the allow's block span) is flagged.
+        assert_eq!(rules_of(&rep), vec!["determinism"]);
+        assert_eq!(rep.diagnostics[0].line, 7);
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// lint: allow(panic, reason = \"nothing here panics\")\n\
+                   fn f() -> u32 { 1 }";
+        let rep = run(src);
+        assert_eq!(rules_of(&rep), vec!["lint-stale"]);
+        assert_eq!(rep.diagnostics[0].severity, Severity::Warn);
+        assert!(rep.diagnostics[0].message.contains("suppressed nothing"));
+    }
+
+    #[test]
+    fn matching_allow_is_not_stale() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n\
+                       // lint: allow(panic, reason = \"caller guarantees Some\")\n\
+                       o.unwrap()\n\
+                   }";
+        let rep = run(src);
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+        assert_eq!(rep.allows.len(), 1);
+    }
+
+    #[test]
+    fn rule_ids_are_stable() {
+        assert_eq!(rule_id("panic"), "RN001");
+        assert_eq!(rule_id("determinism"), "RN101");
+        assert_eq!(rule_id("error-discard"), "RN102");
+        assert_eq!(rule_id("hot-loop-alloc"), "RN103");
+        assert_eq!(rule_id("unheard-of"), "RN000");
     }
 }

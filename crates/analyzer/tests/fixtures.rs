@@ -155,6 +155,100 @@ fn clean_fixture_exits_zero() {
 }
 
 #[test]
+fn determinism_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["determinism.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(count_rule(&stdout, "determinism"), 3, "stdout:\n{stdout}");
+    for line in [
+        "determinism.rs:7:",
+        "determinism.rs:14:",
+        "determinism.rs:18:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    assert!(stdout.contains("RN101"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn determinism_clean_fixture_passes() {
+    let (out, stdout) = run_on_fixtures(&["determinism_clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn error_discard_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["error_discard.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(count_rule(&stdout, "error-discard"), 3, "stdout:\n{stdout}");
+    for line in [
+        "error_discard.rs:9:",
+        "error_discard.rs:13:",
+        "error_discard.rs:16:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    assert!(stdout.contains("missing_must_use"), "stdout:\n{stdout}");
+    assert!(stdout.contains("RN102"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn error_discard_clean_fixture_passes() {
+    let (out, stdout) = run_on_fixtures(&["error_discard_clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn hot_loop_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["hot_loop.rs"]);
+    // hot-loop-alloc defaults to warn severity: reported but exit 0.
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert_eq!(
+        count_rule(&stdout, "hot-loop-alloc"),
+        4,
+        "stdout:\n{stdout}"
+    );
+    for line in [
+        "hot_loop.rs:7:",
+        "hot_loop.rs:8:",
+        "hot_loop.rs:9:",
+        "hot_loop.rs:16:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    assert!(stdout.contains("RN103"), "stdout:\n{stdout}");
+    assert!(stdout.contains("4 warn"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn hot_loop_clean_fixture_passes() {
+    let (out, stdout) = run_on_fixtures(&["hot_loop_clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+    // The justified clone counts as an in-force allow, not a finding.
+    assert!(
+        stdout.contains("1 allow justification(s)"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn deny_flag_escalates_warn_rules() {
+    let path = fixture("hot_loop.rs");
+    let out = run(&["--deny", "hot-loop-alloc", &path.to_string_lossy()]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("4 deny"), "stdout:\n{stdout}");
+    let bad = run(&[
+        "--deny",
+        "no-such-rule",
+        &fixture("clean.rs").to_string_lossy(),
+    ]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
 fn all_fixtures_total_count() {
     let (out, stdout) = run_on_fixtures(&[
         "panics.rs",
@@ -176,10 +270,41 @@ fn workspace_tree_is_clean() {
         .and_then(std::path::Path::parent)
         .expect("workspace root exists")
         .to_path_buf();
+    // The CI invocation: everything denied that check.sh denies, with the
+    // committed baseline subtracting the known (reviewed) findings.
+    let baseline = root.join("analyzer-baseline.txt");
+    let out = run(&[
+        "--workspace",
+        "--root",
+        &root.to_string_lossy(),
+        "--deny",
+        "hot-loop-alloc",
+        "--baseline",
+        &baseline.to_string_lossy(),
+    ]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace not clean:\n{stdout}{stderr}"
+    );
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn workspace_has_no_deny_findings_even_without_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root exists")
+        .to_path_buf();
     let out = run(&["--workspace", "--root", &root.to_string_lossy()]);
     let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
-    assert_eq!(out.status.code(), Some(0), "workspace not clean:\n{stdout}");
-    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+    // Baselined findings are warn-level, so even the bare run must exit 0
+    // with zero deny findings for the three semantic rule families.
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 deny"), "stdout:\n{stdout}");
 }
 
 #[test]
@@ -195,8 +320,15 @@ fn json_report_is_emitted() {
     assert_eq!(out.status.code(), Some(1));
     let json = std::fs::read_to_string(&json_path).expect("json written");
     let _ = std::fs::remove_file(&json_path);
-    assert!(json.contains("\"version\": 1"), "json:\n{json}");
+    assert!(
+        json.contains("\"schema\": \"analyzer-report\""),
+        "json:\n{json}"
+    );
+    assert!(json.contains("\"version\": 2"), "json:\n{json}");
     assert!(json.contains("\"rule\": \"panic\""), "json:\n{json}");
+    assert!(json.contains("\"id\": \"RN001\""), "json:\n{json}");
+    assert!(json.contains("\"severity\": \"deny\""), "json:\n{json}");
+    assert!(json.contains("\"summary\""), "json:\n{json}");
     assert!(json.contains("\"line\": 4"), "json:\n{json}");
     // Cheap well-formedness: balanced braces and brackets.
     assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -1,0 +1,19 @@
+//! Fixture: nondeterministic hash-collection iteration (determinism rule).
+//! Expect 3 diagnostics: lines 7, 14, 18.
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_values(m: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn collect_keys(s: &HashSet<u32>) -> Vec<u32> {
+    s.iter().copied().collect()
+}
+
+pub fn drain_pairs(m: &mut HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    m.drain().collect()
+}

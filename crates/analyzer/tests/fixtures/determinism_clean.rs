@@ -1,0 +1,16 @@
+//! Fixture: hash iteration made deterministic (clean pass for determinism).
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sum_ordered(ordered: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in ordered.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn sorted_keys(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

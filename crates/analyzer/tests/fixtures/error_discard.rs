@@ -1,0 +1,18 @@
+//! Fixture: discarded fallible results (error-discard rule).
+//! Expect 3 diagnostics: lines 9, 13, 16.
+
+fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub fn discards_with_let() {
+    let _ = fallible();
+}
+
+pub fn swallows_with_ok() {
+    fallible().ok();
+}
+
+pub fn missing_must_use(x: u32) -> Result<u32, String> {
+    Ok(x)
+}

@@ -1,0 +1,17 @@
+//! Fixture: fallible results all handled (clean pass for error-discard).
+
+fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+#[must_use = "the computed value is the entire point"]
+pub fn propagates() -> Result<u32, String> {
+    let v = fallible()?;
+    Ok(v)
+}
+
+pub fn handles_inline() {
+    if let Err(e) = fallible() {
+        eprintln!("fallible step failed: {e}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: per-iteration allocation in loops (hot-loop-alloc rule).
+//! Expect 4 diagnostics: lines 7, 8, 9, 16.
+
+pub fn allocates_in_loop(names: &[String]) -> usize {
+    let mut total = 0;
+    for n in names {
+        let copy = n.clone();
+        let label = format!("{copy}!");
+        let buf: Vec<usize> = Vec::new();
+        total += label.len() + buf.len() + copy.len();
+    }
+    total
+}
+
+pub fn allocates_in_adapter(xs: &[usize]) -> usize {
+    xs.iter().map(|x| x.to_string()).map(|s| s.len()).sum()
+}

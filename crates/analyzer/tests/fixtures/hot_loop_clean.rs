@@ -1,0 +1,22 @@
+//! Fixture: allocation hoisted or justified (clean pass for hot-loop-alloc).
+
+pub fn hoisted(names: &[String]) -> usize {
+    let mut buf = String::new();
+    let mut total = 0;
+    for n in names {
+        buf.clear();
+        buf.push_str(n);
+        total += buf.len();
+    }
+    total
+}
+
+pub fn justified(names: &[String]) -> usize {
+    let mut total = 0;
+    for n in names {
+        // lint: allow(hot-loop-alloc, reason = "fixture demonstrating a justified per-iteration clone")
+        let copy = n.clone();
+        total += copy.len();
+    }
+    total
+}

@@ -132,6 +132,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Write `bytes` to `path` atomically: write a temporary sibling, fsync it,
 /// then rename over the destination. Readers never observe a torn file.
+#[must_use = "an ignored write error means the checkpoint silently does not exist"]
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
     let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
@@ -153,6 +154,7 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
     })();
     if result.is_err() {
         // Best effort: do not leave the temp file behind on failure.
+        // lint: allow(error-discard, reason = "cleanup on the failure path; the original error is what the caller must see")
         let _ = std::fs::remove_file(&tmp);
         return result;
     }
@@ -160,6 +162,7 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
     // power loss. Not all platforms support opening directories; ignore.
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         if let Ok(d) = File::open(dir) {
+            // lint: allow(error-discard, reason = "directory fsync is best-effort durability hardening; not all platforms support it")
             let _ = d.sync_all();
         }
     }
@@ -173,6 +176,7 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
 /// Atomically write `payload` wrapped in a checksummed container:
 /// one ASCII header line (`ROUTENET-CKPT v1 crc32=<hex> len=<n>`)
 /// followed by the raw payload bytes.
+#[must_use = "an ignored write error means the checkpoint silently does not exist"]
 pub fn write_checksummed(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), CheckpointError> {
     let header = format!(
         "{MAGIC} v{FORMAT_VERSION} crc32={:08x} len={}\n",
@@ -187,6 +191,7 @@ pub fn write_checksummed(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), C
 
 /// Read a container written by [`write_checksummed`], verifying the length
 /// and CRC32 before returning the payload.
+#[must_use = "dropping the result loses both the payload and any corruption diagnosis"]
 pub fn read_checksummed(path: impl AsRef<Path>) -> Result<Vec<u8>, CheckpointError> {
     let bytes = std::fs::read(path)?;
     let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
@@ -340,6 +345,7 @@ impl TrainState {
     }
 
     /// Atomically save to `path` inside a checksummed container.
+    #[must_use = "an ignored save error means resume will restart from an older epoch"]
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let json =
             serde_json::to_string(self).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -347,6 +353,7 @@ impl TrainState {
     }
 
     /// Load a state saved by [`TrainState::save`], verifying the checksum.
+    #[must_use = "dropping the result loses both the restored state and any corruption diagnosis"]
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let payload = read_checksummed(path)?;
         let json = String::from_utf8(payload)
@@ -357,6 +364,7 @@ impl TrainState {
     /// Rebuild a usable model from this snapshot (best parameters when
     /// available, else the current ones) — lets `predict`-style tools load
     /// a training checkpoint directly.
+    #[must_use = "consumes the snapshot; dropping the result loses the rebuilt model"]
     pub fn into_model(self) -> Result<RouteNet, CheckpointError> {
         let params = self.best_params.unwrap_or(self.params);
         RouteNet::from_parts(self.model_config, params, self.norm)

@@ -150,6 +150,7 @@ impl RouteNet {
     /// match what [`RouteNet::new`] registers for `config` — same tensor
     /// count, names, and shapes — otherwise an error describes the first
     /// mismatch.
+    #[must_use = "the rebuilt model is the entire point; an unchecked error here means a silently missing model"]
     pub fn from_parts(
         config: RouteNetConfig,
         params: ParamStore,
@@ -362,6 +363,7 @@ impl RouteNet {
     }
 
     /// Restore a model saved with [`RouteNet::to_json`].
+    #[must_use = "dropping the result loses both the restored model and any parse error"]
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         let ckpt: Checkpoint = serde_json::from_str(s)?;
         Ok(RouteNet {

@@ -50,6 +50,7 @@ impl Scenario {
     }
 
     /// Cross-validate the three components against each other.
+    #[must_use = "an unchecked validation result defeats the purpose of validating"]
     pub fn validate(&self) -> Result<(), String> {
         if self.traffic.n_nodes() != self.graph.n_nodes() {
             return Err(format!(
@@ -87,6 +88,7 @@ impl Sample {
     }
 
     /// Validate structural consistency.
+    #[must_use = "an unchecked validation result defeats the purpose of validating"]
     pub fn validate(&self) -> Result<(), String> {
         self.scenario.validate()?;
         if self.targets.len() != self.scenario.n_pairs() {

@@ -387,6 +387,7 @@ fn batch_losses(
     let (tx, rx) = std::sync::mpsc::channel();
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
+            // lint: allow(hot-loop-alloc, reason = "Sender::clone is an Arc refcount bump, once per worker thread, not per item")
             let tx = tx.clone();
             scope.spawn(|_| {
                 let tx = tx;
@@ -485,6 +486,7 @@ fn install_state(state: &TrainState, model: &mut RouteNet, opt: &mut Adam, rng: 
 /// `keep_best`, the parameters of the best epoch (by validation loss, or by
 /// training loss when `val_set` is empty) are restored before returning.
 /// See the module docs for checkpointing, resume, and divergence recovery.
+#[must_use = "dropping the report hides training divergence and early-stop diagnostics"]
 pub fn train(
     model: &mut RouteNet,
     train_set: &[Sample],
@@ -495,6 +497,7 @@ pub fn train(
 }
 
 /// [`train`] with an explicit [`TrainControl`] for cooperative interruption.
+#[must_use = "dropping the report hides training divergence and early-stop diagnostics"]
 pub fn train_with_control(
     model: &mut RouteNet,
     train_set: &[Sample],

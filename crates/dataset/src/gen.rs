@@ -183,7 +183,9 @@ pub fn generate_sample(cfg: &GenConfig, i: usize) -> Sample {
     let result = simulate(&graph, &routing, &traffic, &sim_cfg).expect("valid sim config");
     // Map flows back to canonical pair order explicitly (robust even if a
     // traffic model produced zero-demand pairs, which carry no flow).
-    let mut by_pair = std::collections::HashMap::new();
+    // Ordered map: label construction must stay deterministic even if this
+    // is ever iterated (determinism rule, RN101).
+    let mut by_pair = std::collections::BTreeMap::new();
     for f in &result.flows {
         by_pair.insert(
             (f.src, f.dst),

@@ -76,6 +76,7 @@ pub struct LenientLoad {
 
 /// Write samples as JSONL (one JSON object per line) through the atomic
 /// writer: the file appears under `path` fully written or not at all.
+#[must_use = "an ignored save error means the dataset silently does not exist"]
 pub fn save_jsonl(path: impl AsRef<Path>, samples: &[Sample]) -> Result<(), IoError> {
     let mut buf = Vec::new();
     for s in samples {
@@ -102,6 +103,7 @@ fn parse_line(line: &str, lineno: usize, index: usize) -> Result<Sample, IoError
 /// Load samples from JSONL, rebuilding indices and validating each sample.
 /// Strict: the first bad line (or a torn, newline-less tail) aborts the
 /// load with an error. Use [`load_jsonl_lenient`] to salvage instead.
+#[must_use = "dropping the result loses both the samples and any corruption diagnosis"]
 pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<Sample>, IoError> {
     let content = std::fs::read_to_string(path)?;
     let torn = torn_tail_line(&content);
@@ -122,6 +124,7 @@ pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<Sample>, IoError> {
 /// Unparseable or invalid lines — and a torn (newline-less) final line —
 /// are counted in [`LenientLoad::skipped`] with the first error retained;
 /// every salvageable sample is returned. Filesystem errors still fail.
+#[must_use = "dropping the result loses the salvaged samples and the skip report"]
 pub fn load_jsonl_lenient(path: impl AsRef<Path>) -> Result<LenientLoad, IoError> {
     let content = std::fs::read_to_string(path)?;
     let torn = torn_tail_line(&content);

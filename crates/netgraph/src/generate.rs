@@ -10,13 +10,14 @@ use crate::graph::{Graph, NodeId};
 use crate::topology::{DEFAULT_CAPACITY_BPS, DEFAULT_PROP_DELAY_S};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Undirected edge set builder used by all generators; dedups and forbids
-/// self-loops.
+/// self-loops. Ordered so link ids are deterministic without compensating
+/// sorts at every iteration site.
 #[derive(Default)]
 struct EdgeSet {
-    edges: HashSet<(usize, usize)>,
+    edges: BTreeSet<(usize, usize)>,
 }
 
 impl EdgeSet {
@@ -29,9 +30,7 @@ impl EdgeSet {
 
     fn into_graph(self, name: &str, n: usize) -> Graph {
         let mut g = Graph::new(name, n);
-        let mut edges: Vec<_> = self.edges.into_iter().collect();
-        edges.sort_unstable(); // deterministic link ids regardless of hash order
-        for (a, b) in edges {
+        for (a, b) in self.edges {
             g.add_duplex(
                 NodeId(a),
                 NodeId(b),
@@ -126,17 +125,17 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
         repeated.push(a);
         repeated.push(b);
     }
-    repeated.sort_unstable(); // deterministic order independent of hash iteration
+    // Ascending pool order: keeps seeded outputs byte-stable across the
+    // BTreeSet migration (the pool used to be sorted after hash iteration).
+    repeated.sort_unstable();
     for v in (m + 1)..n {
-        let mut targets = HashSet::new();
+        let mut targets = BTreeSet::new();
         while targets.len() < m {
             let t = repeated[rng.gen_range(0..repeated.len())];
             if t != v {
                 targets.insert(t);
             }
         }
-        let mut targets: Vec<usize> = targets.into_iter().collect();
-        targets.sort_unstable(); // hash-order independence => seed determinism
         for t in targets {
             es.insert(v, t);
             repeated.push(v);

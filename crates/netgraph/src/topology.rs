@@ -223,8 +223,10 @@ pub fn assign_capacities<R: Rng>(g: &mut Graph, scheme: &CapacityScheme, rng: &m
         }
         CapacityScheme::Choice(set) => {
             assert!(!set.is_empty(), "capacity choice set must be non-empty");
-            use std::collections::HashMap;
-            let mut per_pair: HashMap<(usize, usize), f64> = HashMap::new();
+            // Ordered map: capacity assignment must stay deterministic even
+            // if this is ever iterated (determinism rule, RN101).
+            use std::collections::BTreeMap;
+            let mut per_pair: BTreeMap<(usize, usize), f64> = BTreeMap::new();
             let ids: Vec<_> = g
                 .links()
                 .map(|(id, l)| (id, (l.src.0.min(l.dst.0), l.src.0.max(l.dst.0))))

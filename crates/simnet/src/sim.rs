@@ -252,6 +252,7 @@ pub fn simulate(
                 dst: d,
                 rate_pps: demand / cfg.mean_pkt_size_bits,
                 offered_bps: demand,
+                // lint: allow(hot-loop-alloc, reason = "one owned path per flow at setup; the event loop itself never allocates")
                 path: routing.path(s, d).to_vec(),
                 in_on: true,
                 period_end: 0.0,
@@ -273,6 +274,7 @@ pub fn simulate(
     }
     for f in &flows {
         if f.path.len() >= usize::from(u16::MAX) {
+            // lint: allow(hot-loop-alloc, reason = "error message built only on the bad-config early-return path")
             return Err(SimError::BadConfig(format!(
                 "path for {}->{} has {} hops, exceeding the u16 hop counter",
                 f.src,
@@ -281,6 +283,7 @@ pub fn simulate(
             )));
         }
         if let Some(&lid) = f.path.iter().find(|l| l.0 >= g.n_links()) {
+            // lint: allow(hot-loop-alloc, reason = "error message built only on the bad-config early-return path")
             return Err(SimError::BadConfig(format!(
                 "routing path for {}->{} references {lid} outside the graph",
                 f.src, f.dst

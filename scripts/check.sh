@@ -3,7 +3,9 @@
 #   formatting -> clippy (deny warnings) -> static analysis -> build -> tests
 #
 # Usage: scripts/check.sh [--quick]
-#   --quick   skip the release build and run tests in debug only
+#   --quick   analyzer-only loop: formatting, the analyzer gate, and the
+#             analyzer's own test suite — no clippy, no release build, no
+#             workspace tests. For iterating on rules and fixtures.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,16 +23,32 @@ step() { printf '\n==> %s\n' "$*"; }
 step "cargo fmt --check"
 cargo fmt --all --check
 
-step "cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
-
-step "routenet-analyzer --workspace"
-cargo run -q -p routenet-analyzer -- --workspace --json target/analyzer-report.json
-
 if [[ "$QUICK" -eq 0 ]]; then
-    step "cargo build --release"
-    cargo build --release
+    step "cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
 fi
+
+# The analyzer gate diffs against the committed baseline (analyzer-baseline.txt):
+# new deny-level findings fail, and fixed findings also fail until the baseline
+# is shrunk — the ratchet only ever tightens. hot-loop-alloc is escalated to
+# deny here so CI blocks new allocation churn in the kernels even though the
+# rule defaults to warn for local runs.
+step "routenet-analyzer --workspace (baseline ratchet)"
+mkdir -p target
+cargo run -q -p routenet-analyzer -- --workspace \
+    --deny hot-loop-alloc \
+    --baseline analyzer-baseline.txt \
+    --json target/analyzer-report.json
+
+if [[ "$QUICK" -eq 1 ]]; then
+    step "cargo test -p routenet-analyzer (rules + fixtures + golden)"
+    cargo test -q -p routenet-analyzer
+    step "quick checks passed"
+    exit 0
+fi
+
+step "cargo build --release"
+cargo build --release
 
 step "cargo test --workspace"
 cargo test --workspace -q
