@@ -76,6 +76,28 @@ fn bench_simulation(c: &mut Criterion) {
                 .unwrap()
             });
         });
+        // Telemetry-enabled variant: the delta vs `sim100s` is the whole
+        // cost of observability (one SimRun flush per run; the event loop
+        // itself does no telemetry work). Eyeball that it stays in noise.
+        let tel_cfg = routenet_simnet::sim::SimConfig {
+            telemetry: routenet_obs::Telemetry::in_memory("bench", &name),
+            ..cfg.clone()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sim100s_telemetry", &name),
+            &sample,
+            |b, s| {
+                b.iter(|| {
+                    routenet_simnet::sim::simulate(
+                        &s.scenario.graph,
+                        &s.scenario.routing,
+                        &s.scenario.traffic,
+                        &tel_cfg,
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -54,8 +54,13 @@ fn main() {
         println!(
             "{t},{dim},{},{train_s:.1},{:.4},{:.4}",
             model.n_parameters(),
-            seen.delay_summary().median_re,
-            unseen.delay_summary().median_re
+            seen.delay_summary()
+                .expect("evaluation sets are non-empty")
+                .median_re,
+            unseen
+                .delay_summary()
+                .expect("evaluation sets are non-empty")
+                .median_re
         );
     }
     println!("# expected shape: T=1 is clearly insufficient (information cannot make a");

@@ -92,7 +92,7 @@ fn main() {
             ("MM1K", collect_predictions(&mm1k, set)),
         ] {
             let (mae, r) = ev.drop_summary().expect("both predictors have drop heads");
-            let d = ev.delay_summary();
+            let d = ev.delay_summary().expect("evaluation sets are non-empty");
             println!(
                 "{name},{pname},{},{mae:.5},{r:.4},{:.4}",
                 ev.len(),

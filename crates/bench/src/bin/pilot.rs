@@ -5,17 +5,26 @@
 
 use routenet_bench::{interrupt, run_experiment_with_control, scaled_protocol, summary_row, Args};
 use routenet_core::prelude::*;
+use routenet_obs::Telemetry;
+use std::collections::BTreeMap;
 
 fn main() {
     let args = Args::from_env();
     let scale = args.get_or("scale", 0.25f64);
     let seed = args.get_or("seed", 1u64);
     let protocol = scaled_protocol(scale, seed);
+    let tel_path = args.get("telemetry").unwrap_or("pilot.telemetry.jsonl");
+    let tel = if args.get("no-telemetry").is_some() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::to_file("pilot", &format!("scale={scale} seed={seed}"), tel_path)
+    };
     let train_cfg = TrainConfig {
         epochs: args.get_or("epochs", 10usize),
         verbose: true,
         checkpoint_path: args.get("checkpoint").map(str::to_string),
         resume_from: args.get("resume-from").map(str::to_string),
+        telemetry: tel.clone(),
         ..TrainConfig::default()
     };
     // Ctrl-C checkpoints (when --checkpoint is set) and exits cleanly.
@@ -30,10 +39,14 @@ fn main() {
     .unwrap_or_else(|e| panic!("training failed: {e}"));
     if exp.report.interrupted {
         eprintln!("# interrupted; exiting after checkpoint");
+        if let Err(e) = tel.finish() {
+            eprintln!("warning: telemetry log incomplete: {e}");
+        }
         return;
     }
 
     let mm1 = Mm1Baseline::default();
+    let mut rn_evals = BTreeMap::new();
     for (name, set) in [
         ("NSFNET (seen)", &exp.data.eval_nsfnet),
         ("Synth-50 (seen)", &exp.data.eval_synth),
@@ -49,7 +62,9 @@ fn main() {
             "{}",
             summary_row(&format!("M/M/1    {name}"), &qa.delay_summary())
         );
+        rn_evals.insert(name.to_string(), rn);
     }
+    emit_eval_telemetry(&tel, "routenet/", &rn_evals);
     println!(
         "# gen {:.1}s  train {:.1}s  ({} train samples, {} epochs)",
         exp.gen_seconds,
@@ -57,4 +72,11 @@ fn main() {
         exp.data.train.len(),
         train_cfg.epochs
     );
+    if tel.enabled() {
+        eprint!("{}", tel.summary_table());
+        match tel.finish() {
+            Ok(()) => eprintln!("# telemetry -> {tel_path}"),
+            Err(e) => eprintln!("warning: telemetry log incomplete: {e}"),
+        }
+    }
 }

@@ -75,7 +75,7 @@ fn main() {
     if !ev.is_empty() {
         eprintln!("{}", summary_row("delay", &ev.delay_summary()));
         if let Some(j) = ev.jitter_summary() {
-            eprintln!("{}", summary_row("jitter", &j));
+            eprintln!("{}", summary_row("jitter", &Some(j)));
         }
     }
 }

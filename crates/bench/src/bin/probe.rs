@@ -62,7 +62,7 @@ fn main() {
         let ev = collect_predictions(&mm1, &ds);
         println!("{}", summary_row(name, &ev.delay_summary()));
         if let Some(j) = ev.jitter_summary() {
-            println!("{}", summary_row(&format!("{name} [jitter]"), &j));
+            println!("{}", summary_row(&format!("{name} [jitter]"), &Some(j)));
         }
     }
 }

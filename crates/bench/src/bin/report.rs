@@ -19,6 +19,8 @@
 
 use routenet_bench::{interrupt, run_experiment_with_control, scaled_protocol, summary_row, Args};
 use routenet_core::prelude::*;
+use routenet_obs::Telemetry;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -37,6 +39,12 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     let protocol = scaled_protocol(scale, seed);
+    let tel_path = out_dir.join("report.telemetry.jsonl");
+    let tel = if args.get("no-telemetry").is_some() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::to_file("report", &format!("scale={scale} seed={seed}"), &tel_path)
+    };
     let ckpt_path = out_dir.join("train-state.ckpt");
     let train_cfg = TrainConfig {
         epochs,
@@ -46,6 +54,7 @@ fn main() {
         resume_from: args
             .get("resume")
             .map(|_| ckpt_path.to_string_lossy().into_owned()),
+        telemetry: tel.clone(),
         ..TrainConfig::default()
     };
     // Ctrl-C checkpoints the last epoch boundary and exits cleanly; rerun
@@ -64,6 +73,9 @@ fn main() {
             "# interrupted; training state saved to {} — rerun with --resume to continue",
             ckpt_path.display()
         );
+        if let Err(e) = tel.finish() {
+            eprintln!("warning: telemetry log incomplete: {e}");
+        }
         return;
     }
     let mm1 = Mm1Baseline::default();
@@ -111,6 +123,7 @@ fn main() {
         ("Geant2-24-unseen", &exp.data.eval_geant2),
     ];
     let mut summaries = String::new();
+    let mut per_topology = BTreeMap::new();
     for (name, set) in sets {
         for (pname, ev) in [
             ("RouteNet", collect_predictions(&exp.model, set)),
@@ -130,12 +143,14 @@ fn main() {
                 writeln!(
                     summaries,
                     "{}",
-                    summary_row(&format!("{pname} {name} [jitter]"), &j)
+                    summary_row(&format!("{pname} {name} [jitter]"), &Some(j))
                 )
                 .unwrap();
             }
+            per_topology.insert(format!("{pname}/{name}"), ev);
         }
     }
+    emit_eval_telemetry(&tel, "", &per_topology);
     write(&out_dir.join("fig3.csv"), &s);
 
     // ---- fig4: top-10 ----------------------------------------------------
@@ -195,7 +210,7 @@ fn main() {
         for (pname, ev) in rows {
             match ev {
                 Some(ev) => {
-                    let d = ev.delay_summary();
+                    let d = ev.delay_summary().expect("evaluation sets are non-empty");
                     let (jm, jr) = match ev.jitter_summary() {
                         Some(j) => (format!("{:.3}", j.median_re), format!("{:.3}", j.pearson_r)),
                         None => ("n/a".into(), "n/a".into()),
@@ -251,4 +266,11 @@ fn main() {
     writeln!(s, "\nper-topology summaries:\n{summaries}").unwrap();
     write(&out_dir.join("summary.txt"), &s);
     println!("{s}");
+    if tel.enabled() {
+        eprint!("{}", tel.summary_table());
+        match tel.finish() {
+            Ok(()) => eprintln!("# telemetry -> {}", tel_path.display()),
+            Err(e) => eprintln!("warning: telemetry log incomplete: {e}"),
+        }
+    }
 }

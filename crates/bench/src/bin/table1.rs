@@ -68,7 +68,7 @@ fn main() {
         for (pname, ev) in rows {
             match ev {
                 Some(ev) => {
-                    let d = ev.delay_summary();
+                    let d = ev.delay_summary().expect("evaluation sets are non-empty");
                     let (jm, jr) = match ev.jitter_summary() {
                         Some(j) => (format!("{:.3}", j.median_re), format!("{:.3}", j.pearson_r)),
                         None => ("n/a".into(), "n/a".into()),

@@ -12,30 +12,43 @@
 use routenet_bench::{interrupt, Args};
 use routenet_core::prelude::*;
 use routenet_dataset::io::{load_jsonl, load_jsonl_lenient};
+use routenet_obs::Telemetry;
 
 fn main() {
     let args = Args::from_env();
     let Some(train_path) = args.get("train") else {
         eprintln!(
             "usage: train-model --train <jsonl> [--val <jsonl>] --out <model.json> \
-             [--lenient] [--checkpoint <ckpt>] [--resume-from <ckpt>]"
+             [--lenient] [--checkpoint <ckpt>] [--resume-from <ckpt>] [--no-telemetry]"
         );
         std::process::exit(2);
     };
     let lenient = args.get("lenient").is_some();
+    let out = args.get("out").unwrap_or("model.json").to_string();
+    // Telemetry log rides next to the model artifact; `--no-telemetry` opts
+    // out (e.g. when the output directory is read-only).
+    let tel = if args.get("no-telemetry").is_some() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::to_file("train-model", &out, format!("{out}.telemetry.jsonl"))
+    };
     let load = |path: &str| -> Vec<Sample> {
         if lenient {
             match load_jsonl_lenient(path) {
                 Ok(r) => {
                     if r.skipped > 0 {
                         // lint: allow(panic, reason = "skipped > 0 implies a recorded first error")
-                        let first = r.first_error.expect("skip list records its first error");
+                        let first = r
+                            .first_error
+                            .as_ref()
+                            .expect("skip list records its first error");
                         eprintln!(
                             "warning: {path}: quarantined {} bad line(s){}; first error: {first}",
                             r.skipped,
                             if r.torn_tail { " (torn tail)" } else { "" },
                         );
                     }
+                    r.emit_telemetry(&tel, path);
                     r.samples
                 }
                 Err(e) => {
@@ -50,7 +63,6 @@ fn main() {
             })
         }
     };
-    let out = args.get("out").unwrap_or("model.json").to_string();
 
     let train_set = load(train_path);
     let val_set = match args.get("val") {
@@ -81,6 +93,7 @@ fn main() {
         checkpoint_path: args.get("checkpoint").map(str::to_string),
         checkpoint_every: args.get_or("checkpoint-every", 1usize),
         resume_from: args.get("resume-from").map(str::to_string),
+        telemetry: tel.clone(),
         ..TrainConfig::default()
     };
     // Ctrl-C checkpoints (when --checkpoint is set) and exits cleanly.
@@ -100,6 +113,7 @@ fn main() {
         eprintln!(
             "interrupted; training state checkpointed — rerun with --resume-from to continue"
         );
+        finish_telemetry(&tel, &out);
         return;
     }
     eprintln!(
@@ -111,4 +125,16 @@ fn main() {
         std::process::exit(1);
     });
     println!("model with {} parameters -> {out}", model.n_parameters());
+    finish_telemetry(&tel, &out);
+}
+
+fn finish_telemetry(tel: &Telemetry, out: &str) {
+    if !tel.enabled() {
+        return;
+    }
+    if let Err(e) = tel.finish() {
+        eprintln!("warning: telemetry log incomplete: {e}");
+    } else {
+        eprintln!("# telemetry -> {out}.telemetry.jsonl");
+    }
 }

@@ -45,8 +45,12 @@ fn main() {
         cfg.sim.duration_s = protocol.sim_duration_s;
         cfg.sim.warmup_s = protocol.sim_warmup_s;
         let set = generate_dataset(&cfg);
-        let rn = collect_predictions(&exp.model, &set).delay_summary();
-        let qa = collect_predictions(&mm1, &set).delay_summary();
+        let rn = collect_predictions(&exp.model, &set)
+            .delay_summary()
+            .expect("generated sets are non-empty");
+        let qa = collect_predictions(&mm1, &set)
+            .delay_summary()
+            .expect("generated sets are non-empty");
         println!(
             "{n},{},{},{:.4},{:.4},{:.4},{:.4}",
             per_size, rn.n, rn.median_re, rn.pearson_r, qa.median_re, qa.pearson_r

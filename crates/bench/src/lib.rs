@@ -135,8 +135,13 @@ pub fn run_experiment_with_control(
             protocol.train_per_topology, protocol.eval_per_topology, protocol.eval_geant2
         );
     }
+    // Single wiring point for the bins: the trainer's telemetry handle is
+    // threaded into dataset generation, so enabling telemetry on TrainConfig
+    // instruments the whole experiment.
+    let mut protocol = protocol.clone();
+    protocol.telemetry = train_cfg.telemetry.clone();
     let t0 = Instant::now();
-    let data = generate_paper_datasets(protocol);
+    let data = generate_paper_datasets(&protocol);
     let gen_seconds = t0.elapsed().as_secs_f64();
     if verbose {
         eprintln!("# generated in {gen_seconds:.1}s; training...");
@@ -208,12 +213,17 @@ pub mod interrupt {
     }
 }
 
-/// Format an evaluation summary as one table row.
-pub fn summary_row(label: &str, s: &EvalSummary) -> String {
-    format!(
-        "{label:<22} n={:<7} MAE={:.4}s RMSE={:.4}s MRE={:.3} medRE={:.3} p95RE={:.3} r={:.3} R2={:.3}",
-        s.n, s.mae, s.rmse, s.mre, s.median_re, s.p95_re, s.pearson_r, s.r2
-    )
+/// Format an evaluation summary as one table row. An empty evaluation
+/// (`None`: every flow carried the unobserved sentinel) renders as an
+/// explicit "no data" row instead of panicking upstream.
+pub fn summary_row(label: &str, s: &Option<EvalSummary>) -> String {
+    match s {
+        Some(s) => format!(
+            "{label:<22} n={:<7} MAE={:.4}s RMSE={:.4}s MRE={:.3} medRE={:.3} p95RE={:.3} r={:.3} R2={:.3}",
+            s.n, s.mae, s.rmse, s.mre, s.median_re, s.p95_re, s.pearson_r, s.r2
+        ),
+        None => format!("{label:<22} (no observed flows)"),
+    }
 }
 
 #[cfg(test)]

@@ -32,14 +32,23 @@ impl PairedEval {
         self.delay_pred.is_empty()
     }
 
-    /// Delay metrics summary.
-    pub fn delay_summary(&self) -> EvalSummary {
-        evaluate(&self.delay_pred, &self.delay_true)
+    /// Delay metrics summary, or `None` when no pairs were collected.
+    ///
+    /// An evaluation over samples whose flows were all unobserved (the
+    /// `delay_s == 0` sentinel) is legitimately empty; callers render it as
+    /// "no data" rather than panicking inside [`evaluate`].
+    pub fn delay_summary(&self) -> Option<EvalSummary> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(evaluate(&self.delay_pred, &self.delay_true))
+        }
     }
 
-    /// Jitter metrics summary, if the predictor produced jitter values.
+    /// Jitter metrics summary, if the predictor produced jitter values and
+    /// any pairs were collected.
     pub fn jitter_summary(&self) -> Option<EvalSummary> {
-        if self.jitter_pred.iter().any(|x| x.is_nan()) {
+        if self.jitter_pred.is_empty() || self.jitter_pred.iter().any(|x| x.is_nan()) {
             None
         } else {
             Some(evaluate(&self.jitter_pred, &self.jitter_true))
@@ -129,6 +138,10 @@ pub fn collect_by_topology(
 /// Rank the `n` paths with the largest predicted delay in one sample —
 /// the "Top-N paths with more delay" analytics of the paper's Fig. 4.
 /// Returns `(src, dst, predicted_delay_s, true_delay_s)` sorted descending.
+///
+/// Pairs carrying the `delay_s == 0` unobserved-flow sentinel are skipped,
+/// mirroring [`collect_predictions`]: a ranking row with a fabricated true
+/// delay of zero would make every prediction for it look infinitely wrong.
 pub fn top_n_paths_by_delay(
     predictor: &dyn KpiPredictor,
     sample: &Sample,
@@ -140,11 +153,35 @@ pub fn top_n_paths_by_delay(
         .iter()
         .zip(preds.iter())
         .zip(sample.targets.iter())
+        .filter(|(_, t)| t.delay_s > 0.0)
         .map(|(((s, d), p), t)| (s.0, d.0, p.delay_s, t.delay_s))
         .collect();
     rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     rows.truncate(n);
     rows
+}
+
+/// Emit one [`Event::Eval`] telemetry record per evaluation group (e.g. per
+/// topology), skipping empty groups. `scope_prefix` namespaces the group key
+/// — e.g. `"fig3/"` yields scopes like `fig3/NSFNET`.
+pub fn emit_eval_telemetry(
+    tel: &routenet_obs::Telemetry,
+    scope_prefix: &str,
+    groups: &BTreeMap<String, PairedEval>,
+) {
+    use routenet_obs::Event;
+    for (name, ev) in groups {
+        if let Some(s) = ev.delay_summary() {
+            tel.emit(Event::Eval {
+                scope: format!("{scope_prefix}{name}"),
+                n: s.n,
+                mae: s.mae,
+                median_re: s.median_re,
+                p95_re: s.p95_re,
+                pearson_r: s.pearson_r,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,10 +233,63 @@ mod tests {
         let s = sample_with_topology("A", 1);
         let ev = collect_predictions(&Mm1Baseline::default(), &[s]);
         assert_eq!(ev.len(), 12);
-        let sum = ev.delay_summary();
+        let sum = ev.delay_summary().expect("non-empty eval");
         assert!(sum.mre < 1e-9);
         let jsum = ev.jitter_summary().expect("mm1 predicts jitter");
         assert!(jsum.mre < 1e-9);
+    }
+
+    #[test]
+    fn empty_eval_summaries_are_none_not_panics() {
+        let ev = PairedEval::default();
+        assert!(ev.is_empty());
+        assert!(ev.delay_summary().is_none());
+        assert!(ev.jitter_summary().is_none());
+        assert!(ev.drop_summary().is_none());
+        // An all-sentinel sample must produce the same empty eval.
+        let mut s = sample_with_topology("A", 9);
+        for t in &mut s.targets {
+            t.delay_s = 0.0;
+        }
+        let ev = collect_predictions(&Mm1Baseline::default(), &[s]);
+        assert!(ev.is_empty());
+        assert!(ev.delay_summary().is_none());
+    }
+
+    #[test]
+    fn top_n_skips_unobserved_flow_sentinels() {
+        let mut s = sample_with_topology("A", 10);
+        let n_pairs = s.targets.len();
+        // Mark the three truly slowest paths as unobserved; they must not
+        // appear in the ranking even though the predictor still ranks them
+        // highest by *predicted* delay.
+        let mut order: Vec<usize> = (0..n_pairs).collect();
+        order.sort_by(|&a, &b| s.targets[b].delay_s.total_cmp(&s.targets[a].delay_s));
+        for &i in order.iter().take(3) {
+            s.targets[i].delay_s = 0.0;
+        }
+        let top = top_n_paths_by_delay(&Mm1Baseline::default(), &s, n_pairs);
+        assert_eq!(top.len(), n_pairs - 3);
+        for (_, _, _, t) in &top {
+            assert!(*t > 0.0, "sentinel pair leaked into ranking");
+        }
+    }
+
+    #[test]
+    fn eval_telemetry_emits_one_event_per_group() {
+        let tel = routenet_obs::Telemetry::in_memory("core", "test");
+        let samples = vec![sample_with_topology("A", 1), sample_with_topology("B", 2)];
+        let groups = collect_by_topology(&Mm1Baseline::default(), &samples);
+        emit_eval_telemetry(&tel, "test/", &groups);
+        let evals: Vec<_> = tel
+            .records()
+            .into_iter()
+            .filter_map(|rec| match rec.event {
+                routenet_obs::Event::Eval { scope, n, .. } => Some((scope, n)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evals, vec![("test/A".into(), 12), ("test/B".into(), 12)]);
     }
 
     #[test]

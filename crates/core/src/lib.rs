@@ -47,7 +47,8 @@ pub mod prelude {
     pub use crate::baseline::{FnnBaseline, FnnConfig, Mg1Baseline, Mm1Baseline, Mm1kBaseline};
     pub use crate::checkpoint::{atomic_write, CheckpointError, TrainState};
     pub use crate::eval::{
-        collect_by_topology, collect_predictions, top_n_paths_by_delay, PairedEval,
+        collect_by_topology, collect_predictions, emit_eval_telemetry, top_n_paths_by_delay,
+        PairedEval,
     };
     pub use crate::features::Normalizer;
     pub use crate::metrics::{cdf_points, evaluate, relative_errors, EvalSummary};

@@ -33,9 +33,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use routenet_nn::optim::{clip_global_norm, Adam};
 use routenet_nn::{GradAccumulator, Session, Tensor};
+use routenet_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,6 +97,12 @@ pub struct TrainConfig {
     /// Total rollback budget for the run; exceeding it fails the run with
     /// [`TrainError::Diverged`].
     pub max_rollbacks: usize,
+    /// Telemetry handle for per-epoch metrics, rollback events, and
+    /// checkpoint write latency. Wiring, not configuration: it is skipped
+    /// by serde (checkpoints stay byte-compatible) and always compares
+    /// equal, so resume compatibility never depends on it.
+    #[serde(skip)]
+    pub telemetry: Telemetry,
 }
 
 impl Default for TrainConfig {
@@ -119,6 +127,7 @@ impl Default for TrainConfig {
             max_spike_factor: None,
             lr_backoff: 0.5,
             max_rollbacks: 3,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -473,6 +482,24 @@ fn check_resume_compat(saved: &TrainConfig, cur: &TrainConfig) -> Result<(), Tra
     Ok(())
 }
 
+/// Persist `state` through the atomic checkpoint writer, timing the write
+/// and emitting an [`Event::CheckpointWrite`] record when telemetry is on.
+fn save_checkpoint(state: &TrainState, path: &str, tel: &Telemetry) -> Result<(), TrainError> {
+    let t0 = tel.enabled().then(Instant::now);
+    state.save(path)?;
+    if let Some(t0) = t0 {
+        let write_s = t0.elapsed().as_secs_f64();
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        tel.emit(Event::CheckpointWrite {
+            epoch: state.epoch_next,
+            bytes,
+            write_s,
+        });
+        tel.observe_s("train.checkpoint_write_s", write_s);
+    }
+    Ok(())
+}
+
 /// Install a snapshot's model-facing pieces back into the live run.
 fn install_state(state: &TrainState, model: &mut RouteNet, opt: &mut Adam, rng: &mut StdRng) {
     *model.store_mut() = state.params.clone();
@@ -548,6 +575,26 @@ pub fn train_with_control(
     let mut rng = StdRng::from_state(state.rng);
     *model.store_mut() = state.params.clone();
 
+    // One-shot cost probe: the autodiff-graph footprint of a single sample's
+    // forward pass. Per-sample tape size dominates the trainer's time and
+    // memory, so the summary table reports it alongside throughput.
+    if cfg.telemetry.enabled() {
+        if let Some(item) = train_items.first() {
+            let mut sess = Session::new(model.store());
+            let _probe = model.forward(&mut sess, &item.compiled);
+            cfg.telemetry
+                .gauge_set("train.tape_nodes_per_sample", sess.tape.len() as f64);
+            cfg.telemetry.gauge_set(
+                "train.tape_scalars_per_sample",
+                sess.tape.value_scalars() as f64,
+            );
+            cfg.telemetry
+                .gauge_set("train.param_scalars", model.store().n_scalars() as f64);
+            cfg.telemetry
+                .gauge_set("train.samples", train_set.len() as f64);
+        }
+    }
+
     // Spike-detection reference: the last accepted epoch's training loss,
     // or (for a fresh run with detection enabled) an evaluation pass over
     // the training set at the initial parameters.
@@ -570,7 +617,9 @@ pub fn train_with_control(
         // reset to identity first), so rollback and resume replay it.
         order.sort_unstable();
         order.shuffle(&mut rng);
+        let epoch_t0 = cfg.telemetry.enabled().then(Instant::now);
         let mut epoch_loss = 0.0;
+        let mut grad_norm_sum = 0.0;
         let mut batches = 0usize;
         let mut diverged: Option<DivergenceReason> = None;
         for chunk in order.chunks(cfg.batch_size) {
@@ -596,6 +645,7 @@ pub fn train_with_control(
             }
             opt.step(model.store_mut(), &mean_grads);
             epoch_loss += batch_loss / chunk.len() as f64;
+            grad_norm_sum += grad_norm;
             batches += 1;
         }
         if interrupted {
@@ -640,7 +690,7 @@ pub fn train_with_control(
             if state.rollbacks >= cfg.max_rollbacks {
                 install_state(&state, model, &mut opt, &mut rng);
                 if let Some(path) = &cfg.checkpoint_path {
-                    state.save(path)?;
+                    save_checkpoint(&state, path, &cfg.telemetry)?;
                 }
                 return Err(TrainError::Diverged {
                     epoch,
@@ -656,6 +706,15 @@ pub fn train_with_control(
                 lr_before,
                 lr_after: state.opt.lr,
             });
+            if cfg.telemetry.enabled() {
+                cfg.telemetry.counter_add("train.rollbacks", 1);
+                cfg.telemetry.emit(Event::Rollback {
+                    epoch,
+                    reason: reason.to_string(), // lint: allow(hot-loop-alloc, reason = "rollbacks are exceptional recovery events, not per-iteration work")
+                    lr_before,
+                    lr_after: state.opt.lr,
+                });
+            }
             install_state(&state, model, &mut opt, &mut rng);
             if cfg.verbose {
                 eprintln!(
@@ -688,6 +747,19 @@ pub fn train_with_control(
             val_loss,
             lr: opt.lr,
         });
+        if let Some(t0) = epoch_t0 {
+            let wall = t0.elapsed().as_secs_f64();
+            cfg.telemetry.emit(Event::Epoch {
+                epoch,
+                train_loss,
+                val_loss,
+                lr: opt.lr,
+                grad_norm: grad_norm_sum / batches.max(1) as f64,
+                samples_per_s: train_items.len() as f64 / wall.max(1e-9),
+            });
+            cfg.telemetry.counter_add("train.epochs", 1);
+            cfg.telemetry.observe_s("train.epoch_s", wall);
+        }
         opt.lr *= cfg.lr_decay;
         if selection < state.patience_best() * (1.0 - 1e-6) {
             state.set_patience_best(selection);
@@ -702,7 +774,7 @@ pub fn train_with_control(
 
         if let Some(path) = &cfg.checkpoint_path {
             if state.epoch_next.is_multiple_of(cfg.checkpoint_every) {
-                state.save(path)?;
+                save_checkpoint(&state, path, &cfg.telemetry)?;
             }
         }
 
@@ -723,7 +795,7 @@ pub fn train_with_control(
     // A final checkpoint at run exit (normal completion, early stop, or
     // interruption) so the on-disk state always matches the returned run.
     if let Some(path) = &cfg.checkpoint_path {
-        state.save(path)?;
+        save_checkpoint(&state, path, &cfg.telemetry)?;
     }
 
     let report = TrainReport {
@@ -1150,6 +1222,38 @@ mod tests {
             full_report.best_loss.to_bits(),
             resumed_report.best_loss.to_bits()
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_records_epochs_rollbacks_and_checkpoints() {
+        let data = mm1_dataset(6, 16);
+        let path = tmp_path("telemetry");
+        let tel = Telemetry::in_memory("core", "test");
+        let mut model = tiny_model();
+        // The absurd learning rate forces at least one rollback before the
+        // backoff lands on a sane rate (same recipe as the recovery test).
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 3,
+            lr: 1e160,
+            lr_backoff: 1e-163,
+            max_rollbacks: 3,
+            keep_best: false,
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            telemetry: tel.clone(),
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data[..4], &data[4..], &cfg).unwrap();
+        let records = tel.records();
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+        assert_eq!(count("Epoch"), report.epochs.len());
+        assert_eq!(count("Rollback"), report.recoveries.len());
+        assert!(!report.recoveries.is_empty(), "expected a rollback");
+        assert!(count("CheckpointWrite") >= 1);
+        assert_eq!(tel.counter("train.epochs"), report.epochs.len() as u64);
+        assert!(tel.gauge("train.tape_nodes_per_sample").unwrap_or(0.0) > 0.0);
+        assert!(tel.histogram_summary("train.epoch_s").is_some());
         std::fs::remove_file(&path).ok();
     }
 

@@ -190,7 +190,7 @@ fn eval_harness_metrics_agree_with_manual() {
     };
     let m = model(4);
     let ev = collect_predictions(&m, std::slice::from_ref(&sample));
-    let s = ev.delay_summary();
+    let s = ev.delay_summary().expect("non-empty eval");
     let manual_mae = ev
         .delay_pred
         .iter()

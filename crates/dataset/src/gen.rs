@@ -15,8 +15,10 @@ use routenet_netgraph::routing::{
 use routenet_netgraph::topology::{assign_capacities, CapacityScheme};
 use routenet_netgraph::traffic::{sample_traffic_matrix, TrafficModel};
 use routenet_netgraph::{generate, topology, Graph};
+use routenet_obs::{Event, Telemetry};
 use routenet_simnet::sim::{simulate, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which topology a dataset is generated on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,8 +177,13 @@ pub fn generate_sample(cfg: &GenConfig, i: usize) -> Sample {
     .expect("zoo/generator topologies are strongly connected"); // lint: allow(panic, reason = "generator only emits strongly connected graphs; routing cannot fail")
     let intensity = rng.gen_range(cfg.intensity_min..=cfg.intensity_max);
     let traffic = sample_traffic_matrix(&graph, &routing, &cfg.traffic, intensity, &mut rng);
+    // Strip the telemetry handle: a dataset run simulates hundreds of
+    // scenarios, and one SimRun event per sample would flood the log (and,
+    // with a file sink, rewrite it O(n²)). The dataset layer reports its
+    // own aggregate ([`Event::DatasetGen`]) instead.
     let sim_cfg = SimConfig {
         seed,
+        telemetry: Telemetry::disabled(),
         ..cfg.sim.clone()
     };
     // lint: allow(panic, reason = "config built from validated GenConfig fields; a rejection is a generator bug")
@@ -234,38 +241,89 @@ fn num_threads() -> usize {
         .min(16)
 }
 
+/// [`generate_sample`] wrapped in a per-sample wall-clock measurement.
+/// Returns the elapsed seconds (0.0 when telemetry is disabled) so the
+/// caller can aggregate per-dataset statistics without re-reading the
+/// process-wide histogram.
+fn generate_sample_timed(cfg: &GenConfig, i: usize) -> (Sample, f64) {
+    let t0 = cfg.sim.telemetry.enabled().then(Instant::now);
+    let s = generate_sample(cfg, i);
+    match t0 {
+        Some(t0) => {
+            let dt = t0.elapsed().as_secs_f64();
+            cfg.sim.telemetry.observe_s("dataset.sample_s", dt);
+            (s, dt)
+        }
+        None => (s, 0.0),
+    }
+}
+
 /// Generate with an explicit worker count (1 = sequential, used in tests).
+///
+/// When `cfg.sim.telemetry` is enabled, each sample's generation time is
+/// recorded (the handle is stripped from the per-sample simulator calls,
+/// see [`generate_sample`]) and one [`Event::DatasetGen`] aggregate is
+/// emitted per call.
 pub fn generate_dataset_with_threads(cfg: &GenConfig, workers: usize) -> Vec<Sample> {
     assert!(workers >= 1);
-    if workers == 1 || cfg.n_samples <= 1 {
-        return (0..cfg.n_samples)
-            .map(|i| generate_sample(cfg, i))
+    let tel = &cfg.sim.telemetry;
+    let run_t0 = tel.enabled().then(Instant::now);
+    let (samples, sample_times, effective_workers) = if workers == 1 || cfg.n_samples <= 1 {
+        let mut times = Vec::with_capacity(cfg.n_samples);
+        let samples = (0..cfg.n_samples)
+            .map(|i| {
+                let (s, dt) = generate_sample_timed(cfg, i);
+                times.push(dt);
+                s
+            })
             .collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Sample)>();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            scope.spawn(|_| {
-                let tx = tx;
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cfg.n_samples {
-                        break;
+        (samples, times, 1)
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Sample, f64)>();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(|_| {
+                    let tx = tx;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cfg.n_samples {
+                            break;
+                        }
+                        let (s, dt) = generate_sample_timed(cfg, i);
+                        tx.send((i, s, dt))
+                            // lint: allow(panic, reason = "receiver outlives the scope; it is dropped after join")
+                            .expect("collector alive");
                     }
-                    tx.send((i, generate_sample(cfg, i)))
-                        // lint: allow(panic, reason = "receiver outlives the scope; it is dropped after join")
-                        .expect("collector alive");
-                }
-            });
-        }
-    })
-    .expect("worker threads do not panic"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
-    drop(tx);
-    let mut indexed: Vec<(usize, Sample)> = rx.into_iter().collect();
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, s)| s).collect()
+                });
+            }
+        })
+        .expect("worker threads do not panic"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+        drop(tx);
+        let mut indexed: Vec<(usize, Sample, f64)> = rx.into_iter().collect();
+        indexed.sort_by_key(|(i, _, _)| *i);
+        let times = indexed.iter().map(|(_, _, dt)| *dt).collect();
+        let samples = indexed.into_iter().map(|(_, s, _)| s).collect();
+        (samples, times, workers)
+    };
+    if let Some(t0) = run_t0 {
+        let wall_s = t0.elapsed().as_secs_f64();
+        let n = sample_times.len();
+        let sum: f64 = sample_times.iter().sum();
+        let max = sample_times.iter().fold(0.0f64, |a, &b| a.max(b));
+        tel.emit(Event::DatasetGen {
+            topology: cfg.topology.name(),
+            samples: n,
+            workers: effective_workers,
+            wall_s,
+            mean_sample_s: if n > 0 { sum / n as f64 } else { 0.0 },
+            max_sample_s: max,
+        });
+        tel.counter_add("dataset.samples", n as u64);
+        tel.observe_s("dataset.gen_s", wall_s);
+    }
+    samples
 }
 
 #[cfg(test)]
@@ -321,6 +379,43 @@ mod tests {
         let da: Vec<f64> = a.targets.iter().map(|t| t.delay_s).collect();
         let db: Vec<f64> = b.targets.iter().map(|t| t.delay_s).collect();
         assert_ne!(da, db);
+    }
+
+    #[test]
+    fn generation_emits_one_aggregate_event_and_no_simruns() {
+        let mut cfg = tiny_cfg();
+        let tel = Telemetry::in_memory("dataset", "test");
+        cfg.sim.telemetry = tel.clone();
+        let ds = generate_dataset_with_threads(&cfg, 2);
+        assert_eq!(ds.len(), 4);
+        let records = tel.records();
+        // The per-sample simulator calls run with a stripped handle, so the
+        // log holds exactly one DatasetGen aggregate and zero SimRun events.
+        assert!(records.iter().all(|r| r.event.kind() != "SimRun"));
+        let gens: Vec<_> = records
+            .iter()
+            .filter(|r| r.event.kind() == "DatasetGen")
+            .collect();
+        assert_eq!(gens.len(), 1);
+        match &gens[0].event {
+            Event::DatasetGen {
+                topology,
+                samples,
+                workers,
+                mean_sample_s,
+                max_sample_s,
+                ..
+            } => {
+                assert_eq!(topology, "Synth-6");
+                assert_eq!(*samples, 4);
+                assert_eq!(*workers, 2);
+                assert!(*mean_sample_s > 0.0);
+                assert!(*max_sample_s >= *mean_sample_s);
+            }
+            other => panic!("expected DatasetGen, got {other:?}"),
+        }
+        assert_eq!(tel.counter("dataset.samples"), 4);
+        assert!(tel.histogram_summary("dataset.sample_s").is_some());
     }
 
     #[test]

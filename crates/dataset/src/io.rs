@@ -74,6 +74,24 @@ pub struct LenientLoad {
     pub torn_tail: bool,
 }
 
+impl LenientLoad {
+    /// Record this load outcome on `tel`: one
+    /// [`routenet_obs::Event::DatasetLoad`] event plus quarantine counters.
+    pub fn emit_telemetry(&self, tel: &routenet_obs::Telemetry, path: &str) {
+        if !tel.enabled() {
+            return;
+        }
+        tel.counter_add("dataset.loads", 1);
+        tel.counter_add("dataset.quarantined_lines", self.skipped as u64);
+        tel.emit(routenet_obs::Event::DatasetLoad {
+            path: path.to_string(),
+            loaded: self.samples.len(),
+            quarantined: self.skipped,
+            torn_tail: self.torn_tail,
+        });
+    }
+}
+
 /// Write samples as JSONL (one JSON object per line) through the atomic
 /// writer: the file appears under `path` fully written or not at all.
 #[must_use = "an ignored save error means the dataset silently does not exist"]
@@ -315,6 +333,41 @@ mod tests {
         match report.first_error {
             Some(IoError::TornTail { line: 2 }) => {}
             other => panic!("expected torn tail at line 2, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_load_telemetry_reports_quarantine() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.jsonl");
+        let good = serde_json::to_string(&ds[0]).unwrap();
+        let content = format!("{good}\n{{corrupt}}\n{good}\n");
+        std::fs::write(&path, content).unwrap();
+        let report = load_jsonl_lenient(&path).unwrap();
+        let tel = routenet_obs::Telemetry::in_memory("dataset", "test");
+        report.emit_telemetry(&tel, &path.to_string_lossy());
+        assert_eq!(tel.counter("dataset.quarantined_lines"), 1);
+        let loads: Vec<_> = tel
+            .records()
+            .into_iter()
+            .filter(|r| r.event.kind() == "DatasetLoad")
+            .collect();
+        assert_eq!(loads.len(), 1);
+        match &loads[0].event {
+            routenet_obs::Event::DatasetLoad {
+                loaded,
+                quarantined,
+                torn_tail,
+                ..
+            } => {
+                assert_eq!(*loaded, 2);
+                assert_eq!(*quarantined, 1);
+                assert!(!torn_tail);
+            }
+            other => panic!("expected DatasetLoad, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
     }

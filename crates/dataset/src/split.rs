@@ -8,6 +8,7 @@
 
 use crate::gen::{generate_dataset, GenConfig, TopologySpec};
 use routenet_core::sample::Sample;
+use routenet_obs::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Seed that fixes the 50-node synthetic training topology (one graph, as in
@@ -33,6 +34,11 @@ pub struct ProtocolConfig {
     pub sim_warmup_s: f64,
     /// Master seed; train/val/eval draws use disjoint seed ranges.
     pub seed: u64,
+    /// Telemetry handle threaded into every dataset-generation call (one
+    /// [`routenet_obs::Event::DatasetGen`] aggregate per dataset). Wiring,
+    /// not configuration: skipped by serde and always compares equal.
+    #[serde(skip)]
+    pub telemetry: Telemetry,
 }
 
 impl Default for ProtocolConfig {
@@ -48,6 +54,7 @@ impl Default for ProtocolConfig {
             sim_duration_s: 600.0,
             sim_warmup_s: 60.0,
             seed: 1,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -82,6 +89,7 @@ fn make_cfg(cfg: &ProtocolConfig, topo: TopologySpec, n: usize, base_seed: u64) 
     let mut g = GenConfig::new(topo, n, base_seed);
     g.sim.duration_s = cfg.sim_duration_s;
     g.sim.warmup_s = cfg.sim_warmup_s;
+    g.sim.telemetry = cfg.telemetry.clone();
     g
 }
 
@@ -178,6 +186,7 @@ mod tests {
             sim_duration_s: 40.0,
             sim_warmup_s: 4.0,
             seed: 5,
+            ..ProtocolConfig::default()
         }
     }
 

@@ -86,6 +86,14 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Total number of scalars held in node values — the working-set size
+    /// of one recorded forward pass. Together with [`Tape::len`] this is
+    /// the telemetry probe for per-sample autodiff cost: node count tracks
+    /// op dispatch overhead, scalar count tracks memory traffic.
+    pub fn value_scalars(&self) -> usize {
+        self.nodes.iter().map(|n| n.value.len()).sum()
+    }
+
     /// Value of a node.
     ///
     /// INVARIANT: every `Var` is minted by `push` on this tape and therefore
@@ -490,6 +498,17 @@ mod tests {
     fn rand_t(r: usize, c: usize, seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::xavier(r, c, &mut rng)
+    }
+
+    #[test]
+    fn value_scalars_counts_all_node_values() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(2, 3)); // 6 scalars
+        let b = tape.leaf(Tensor::zeros(2, 3)); // 6 scalars
+        let s = tape.add(a, b); // 6 scalars
+        let _total = tape.sum_all(s); // 1 scalar
+        assert_eq!(tape.len(), 4);
+        assert_eq!(tape.value_scalars(), 19);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Integration tests: every event kind round-trips through serde, and the
+//! file sink produces a parseable, crash-safe JSONL log.
+
+use routenet_obs::{Event, Record, Telemetry};
+
+fn every_event_kind() -> Vec<Event> {
+    vec![
+        Event::RunStart {
+            bin: "test".into(),
+            run: "r1".into(),
+        },
+        Event::Epoch {
+            epoch: 3,
+            train_loss: 0.25,
+            val_loss: Some(0.3),
+            lr: 1e-3,
+            grad_norm: 2.5,
+            samples_per_s: 120.0,
+        },
+        Event::Epoch {
+            epoch: 4,
+            train_loss: 0.2,
+            val_loss: None,
+            lr: 9e-4,
+            grad_norm: 2.1,
+            samples_per_s: 118.0,
+        },
+        Event::Rollback {
+            epoch: 5,
+            reason: "loss spike".into(),
+            lr_before: 1e-3,
+            lr_after: 5e-4,
+        },
+        Event::CheckpointWrite {
+            epoch: 6,
+            bytes: 4096,
+            write_s: 0.012,
+        },
+        Event::SimRun {
+            events: 100_000,
+            events_per_s: 2.0e6,
+            packets_generated: 40_000,
+            packets_delivered: 39_990,
+            packets_dropped: 10,
+            heap_high_water: 512,
+            wall_s: 0.05,
+        },
+        Event::DatasetGen {
+            topology: "NSFNET".into(),
+            samples: 48,
+            workers: 8,
+            wall_s: 12.5,
+            mean_sample_s: 1.9,
+            max_sample_s: 3.2,
+        },
+        Event::DatasetLoad {
+            path: "train.jsonl".into(),
+            loaded: 47,
+            quarantined: 1,
+            torn_tail: true,
+        },
+        Event::Eval {
+            scope: "Geant2".into(),
+            n: 1200,
+            mae: 0.004,
+            median_re: 0.11,
+            p95_re: 0.4,
+            pearson_r: 0.97,
+        },
+        Event::RunEnd { wall_s: 60.0 },
+    ]
+}
+
+#[test]
+fn every_event_kind_roundtrips_through_serde() {
+    for (i, ev) in every_event_kind().into_iter().enumerate() {
+        let rec = Record {
+            seq: i as u64,
+            elapsed_s: 0.5 * i as f64,
+            event: ev,
+        };
+        let json = serde_json::to_string(&rec).expect("serialize");
+        let back: Record = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(rec, back, "round-trip mismatch for {json}");
+    }
+}
+
+#[test]
+fn file_sink_writes_parseable_jsonl() {
+    let path = std::env::temp_dir().join(format!(
+        "rn-obs-test-{}.telemetry.jsonl",
+        std::process::id()
+    ));
+    let tel = Telemetry::to_file("test", "filesink", &path);
+    for ev in every_event_kind() {
+        tel.emit(ev);
+    }
+    tel.finish().expect("no sink failures");
+    assert_eq!(tel.write_errors(), 0);
+
+    let text = std::fs::read_to_string(&path).expect("log exists");
+    let mut kinds = Vec::new();
+    let mut prev_seq = None;
+    for line in text.lines() {
+        let rec: Record = serde_json::from_str(line).expect("each line parses");
+        if let Some(p) = prev_seq {
+            assert!(rec.seq > p, "seq must strictly increase");
+        }
+        prev_seq = Some(rec.seq);
+        kinds.push(rec.event.kind().to_string());
+    }
+    // Constructor RunStart + 10 emitted + finish RunEnd.
+    assert_eq!(kinds.len(), 12);
+    assert_eq!(kinds.first().map(String::as_str), Some("RunStart"));
+    assert_eq!(kinds.last().map(String::as_str), Some("RunEnd"));
+    for required in ["Epoch", "SimRun", "Rollback", "CheckpointWrite", "Eval"] {
+        assert!(kinds.iter().any(|k| k == required), "missing {required}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sink_failure_is_deferred_not_fatal() {
+    // A directory that does not exist: every flush fails, but emit() never
+    // panics and finish() reports the failure.
+    let tel = Telemetry::to_file("test", "bad", "/nonexistent-dir-rn-obs/t.jsonl");
+    tel.emit(Event::RunEnd { wall_s: 0.0 });
+    assert!(tel.write_errors() > 0);
+    assert!(tel.finish().is_err());
+}

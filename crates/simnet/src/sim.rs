@@ -22,9 +22,11 @@ use crate::stats::{DelayAccumulator, FlowStats, LogHistogram, SimResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use routenet_netgraph::{Graph, LinkId, NodeId, RoutingScheme, TrafficMatrix};
+use routenet_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Packet-size distribution (mean fixed by `SimConfig::mean_pkt_size_bits`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -80,6 +82,13 @@ pub struct SimConfig {
     pub buffer_pkts: Option<usize>,
     /// RNG seed; equal seeds give bit-identical results.
     pub seed: u64,
+    /// Telemetry handle: when enabled, each run emits one
+    /// [`Event::SimRun`] with cost metrics (events/s, packet counts, heap
+    /// high-water mark, wall-clock). Never serialized (`#[serde(skip)]`)
+    /// and never consulted inside the event loop — the per-event counters
+    /// aggregate locally and flush once at run end.
+    #[serde(skip)]
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimConfig {
@@ -92,6 +101,7 @@ impl Default for SimConfig {
             arrivals: ArrivalProcess::Poisson,
             buffer_pkts: None,
             seed: 1,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -214,7 +224,10 @@ struct LinkState {
     /// Scheduled departure times of queued/in-service packets (min-heap),
     /// pruned lazily; length = current system occupancy.
     departures: BinaryHeap<std::cmp::Reverse<Time>>,
-    /// Accumulated busy (service) time within the measurement window.
+    /// Accumulated busy (service) time clipped to the measurement window:
+    /// each service interval contributes exactly its overlap with
+    /// `[warmup_s, duration_s)`, so `busy_time_s / window <= 1` holds by
+    /// construction (no clamping needed).
     busy_time_s: f64,
     /// Accumulated per-packet sojourn (wait + service) within the window;
     /// `sojourn_time_s / window` is the time-average system occupancy
@@ -332,6 +345,12 @@ pub fn simulate(
 
     let mut events_processed: u64 = 0;
     let mut total_packets: u64 = 0;
+    // Telemetry cost metrics aggregate into plain locals: the event loop
+    // never calls into the registry (overhead budget, RN103). The heap
+    // high-water compare is unconditional — cheaper than a branch on the
+    // telemetry handle and identical for every run.
+    let mut heap_high_water: usize = heap.len();
+    let wall_start = cfg.telemetry.enabled().then(Instant::now);
 
     while let Some(HeapEvent {
         time: Time(now),
@@ -340,6 +359,7 @@ pub fn simulate(
     }) = heap.pop()
     {
         events_processed += 1;
+        heap_high_water = heap_high_water.max(heap.len() + 1);
         match kind {
             EventKind::SourceArrival { flow } => {
                 // lint: allow(cast, reason = "u32 to usize is widening on supported targets")
@@ -409,8 +429,19 @@ pub fn simulate(
                 let depart = start + service;
                 link.busy_until = depart;
                 link.departures.push(std::cmp::Reverse(Time(depart)));
+                // Utilization accounting must clip the *service interval* to
+                // the measurement window, not gate on when the packet was
+                // generated: a pre-warmup packet served inside the window
+                // contributes its in-window part, and a measured packet
+                // whose service drains past the horizon contributes only up
+                // to `duration_s`. Gating on `measured` both missed the
+                // former and over-counted the latter, producing utilization
+                // > 1 under overload (previously masked by a `.min(1.0)`).
+                let overlap = depart.min(cfg.duration_s) - start.max(cfg.warmup_s);
+                if overlap > 0.0 {
+                    link.busy_time_s += overlap;
+                }
                 if measured {
-                    link.busy_time_s += service;
                     link.sojourn_time_s += depart - now;
                     link.sojourn_count += 1;
                 }
@@ -430,7 +461,7 @@ pub fn simulate(
     }
 
     let measured_duration_s = (cfg.duration_s - cfg.warmup_s).max(0.0);
-    let flow_stats = flows
+    let flow_stats: Vec<FlowStats> = flows
         .into_iter()
         .map(|f| FlowStats {
             src: f.src,
@@ -450,7 +481,12 @@ pub fn simulate(
         .iter()
         .map(|l| {
             if measured_duration_s > 0.0 {
-                (l.busy_time_s / measured_duration_s).min(1.0)
+                let util = l.busy_time_s / measured_duration_s;
+                // INVARIANT: busy time is accumulated as window overlap, so
+                // it can never exceed the window itself (ε for accumulated
+                // float rounding over millions of service intervals).
+                debug_assert!(util <= 1.0 + 1e-9, "link utilization {util} > 1");
+                util
             } else {
                 0.0
             }
@@ -476,6 +512,26 @@ pub fn simulate(
             }
         })
         .collect();
+
+    if let Some(t0) = wall_start {
+        let wall_s = t0.elapsed().as_secs_f64();
+        let (delivered, dropped) = flow_stats
+            .iter()
+            .fold((0u64, 0u64), |(d, x), f| (d + f.delivered, x + f.dropped));
+        cfg.telemetry.emit(Event::SimRun {
+            events: events_processed,
+            events_per_s: events_processed as f64 / wall_s.max(1e-9),
+            packets_generated: total_packets,
+            packets_delivered: delivered,
+            packets_dropped: dropped,
+            heap_high_water,
+            wall_s,
+        });
+        cfg.telemetry.counter_add("sim.runs", 1);
+        cfg.telemetry.counter_add("sim.events", events_processed);
+        cfg.telemetry.counter_add("sim.packets_dropped", dropped);
+        cfg.telemetry.observe_s("sim.run_s", wall_s);
+    }
 
     Ok(SimResult {
         flows: flow_stats,
@@ -717,6 +773,58 @@ mod tests {
         // Reverse link idle.
         let rev = g.link_between(NodeId(1), NodeId(0)).unwrap();
         assert_eq!(res.link_utilization[rev.0], 0.0);
+    }
+
+    #[test]
+    fn telemetry_emits_one_simrun_event_per_run() {
+        let (g, r) = one_link_graph(10_000.0);
+        let tm = single_flow_tm(2, 0, 1, 5_000.0);
+        let tel = Telemetry::in_memory("simnet", "test");
+        let cfg = SimConfig {
+            duration_s: 50.0,
+            warmup_s: 5.0,
+            telemetry: tel.clone(),
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let runs: Vec<_> = tel
+            .records()
+            .into_iter()
+            .filter(|rec| rec.event.kind() == "SimRun")
+            .collect();
+        assert_eq!(runs.len(), 1);
+        match &runs[0].event {
+            Event::SimRun {
+                events,
+                packets_generated,
+                heap_high_water,
+                wall_s,
+                ..
+            } => {
+                assert_eq!(*events, res.events_processed);
+                assert_eq!(*packets_generated, res.total_packets);
+                assert!(*heap_high_water >= 1);
+                assert!(*wall_s > 0.0);
+            }
+            other => panic!("expected SimRun, got {other:?}"),
+        }
+        assert_eq!(tel.counter("sim.runs"), 1);
+        assert_eq!(tel.counter("sim.events"), res.events_processed);
+    }
+
+    #[test]
+    fn disabled_telemetry_emits_nothing() {
+        let (g, r) = one_link_graph(10_000.0);
+        let tm = single_flow_tm(2, 0, 1, 5_000.0);
+        let cfg = SimConfig {
+            duration_s: 30.0,
+            warmup_s: 3.0,
+            ..SimConfig::default()
+        };
+        assert!(!cfg.telemetry.enabled());
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        assert!(res.total_packets > 0);
+        assert!(cfg.telemetry.records().is_empty());
     }
 
     #[test]

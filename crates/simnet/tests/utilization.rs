@@ -1,0 +1,77 @@
+//! Property tests: measured link utilization is the busy fraction of the
+//! measurement window, so it must (a) track the M/M/1 offered load
+//! `rho = demand / capacity` below saturation and (b) never exceed 1.0
+//! under overload *without any clamping*. The second property is the
+//! regression guard for the window-overlap accounting fix: the old
+//! implementation credited each measured packet its full service time
+//! (even the part draining past the horizon) and hid the resulting
+//! utilization > 1 behind a `.min(1.0)` clamp.
+
+use proptest::prelude::*;
+use routenet_netgraph::routing::shortest_path_routing;
+use routenet_netgraph::{Graph, NodeId, RoutingScheme, TrafficMatrix};
+use routenet_simnet::sim::{simulate, SimConfig};
+
+fn one_link(cap_bps: f64) -> (Graph, RoutingScheme) {
+    let mut g = Graph::new("1link", 2);
+    g.add_duplex(NodeId(0), NodeId(1), cap_bps, 0.0).unwrap();
+    let r = shortest_path_routing(&g).unwrap();
+    (g, r)
+}
+
+fn tm1(bps: f64) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::zeros(2);
+    tm.set_demand(NodeId(0), NodeId(1), bps);
+    tm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Below saturation, the busy fraction of an M/M/1 link is exactly the
+    /// offered load `rho`; over a long window the simulated estimate must
+    /// land within a small absolute tolerance of it.
+    #[test]
+    fn single_link_utilization_matches_offered_load(rho in 0.1f64..0.9, seed in 0u64..100) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let tm = tm1(rho * cap);
+        let cfg = SimConfig {
+            duration_s: 3_000.0,
+            warmup_s: 300.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let fwd = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        let util = res.link_utilization[fwd.0];
+        prop_assert!((util - rho).abs() < 0.05,
+            "rho {rho}: measured utilization {util}");
+        prop_assert!(util <= 1.0 + 1e-9, "utilization {util} > 1");
+        // The idle reverse link must report exactly zero.
+        let rev = g.link_between(NodeId(1), NodeId(0)).unwrap();
+        prop_assert!(res.link_utilization[rev.0] == 0.0);
+    }
+
+    /// Overload: with an infinite buffer the queue never drains, so after
+    /// warmup the link is busy essentially the whole window. Utilization
+    /// must saturate at 1 from below — not exceed it (the clamp bug), and
+    /// not fall short of it (the spill-in undercount).
+    #[test]
+    fn overloaded_link_saturates_at_one_without_clamp(over in 1.1f64..2.0, seed in 0u64..50) {
+        let cap = 10_000.0;
+        let (g, r) = one_link(cap);
+        let tm = tm1(over * cap);
+        let cfg = SimConfig {
+            duration_s: 400.0,
+            warmup_s: 40.0,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &r, &tm, &cfg).unwrap();
+        let fwd = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        let util = res.link_utilization[fwd.0];
+        prop_assert!(util <= 1.0 + 1e-9, "utilization {util} > 1");
+        prop_assert!(util > 0.99, "overloaded link should be saturated, got {util}");
+    }
+}

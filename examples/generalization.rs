@@ -59,8 +59,12 @@ fn main() {
         ("Synth-50 (seen)", &data.eval_synth),
         ("Geant2 (UNSEEN)", &data.eval_geant2),
     ] {
-        let rn = collect_predictions(&model, set).delay_summary();
-        let qa = collect_predictions(&mm1, set).delay_summary();
+        let rn = collect_predictions(&model, set)
+            .delay_summary()
+            .expect("evaluation sets are non-empty");
+        let qa = collect_predictions(&mm1, set)
+            .delay_summary()
+            .expect("evaluation sets are non-empty");
         println!(
             "{:<18} {:>10} {:>10.1}% {:>10.1}% {:>8}",
             name,

@@ -54,7 +54,7 @@ fn main() {
 
     // 3. Predict on the held-out samples.
     let eval = collect_predictions(&model, test_set);
-    let s = eval.delay_summary();
+    let s = eval.delay_summary().expect("held-out set is non-empty");
     println!(
         "\nheld-out delay accuracy over {} paths: MAE {:.1} ms, median rel. err {:.1}%, r = {:.3}",
         s.n,

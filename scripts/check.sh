@@ -59,4 +59,31 @@ cargo test --workspace -q
 step "resume-determinism smoke test"
 cargo test -q --test resume_determinism
 
+# Telemetry smoke test: a tiny end-to-end training run and a single
+# simulation must each leave a parseable, gapless telemetry JSONL with the
+# expected event kinds (see DESIGN.md "Observability"). validate-telemetry
+# checks strict seq ordering and required kinds; a regression in any sink,
+# event type, or bin wiring fails here before it can silently blind a run.
+step "telemetry smoke test"
+TELDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR"' EXIT
+cargo run -q --release -p routenet-dataset --bin gen-dataset -- \
+    --samples 4 --seed 7 --duration 60 --out "$TELDIR/train.jsonl" >/dev/null
+cargo run -q --release -p routenet-bench --bin train-model -- \
+    --train "$TELDIR/train.jsonl" --lenient --epochs 2 \
+    --out "$TELDIR/model.json" >/dev/null
+cargo run -q --release -p routenet-obs --bin validate-telemetry -- \
+    "$TELDIR/model.json.telemetry.jsonl" \
+    --require RunStart,DatasetLoad,Epoch,RunEnd
+cargo run -q --release -p routenet-bench --bin simulate -- \
+    --topology nsfnet --duration 40 --warmup 4 --seed 7 \
+    --out "$TELDIR/sim.telemetry.jsonl" >/dev/null
+cargo run -q --release -p routenet-obs --bin validate-telemetry -- \
+    "$TELDIR/sim.telemetry.jsonl" \
+    --require RunStart,SimRun,RunEnd
+# Disabled telemetry must stay within noise of an enabled handle (the
+# wall-clock comparison is #[ignore]d from the default suite; see the test).
+cargo test -q --release -p routenet-simnet --test telemetry_overhead \
+    -- --ignored
+
 step "all checks passed"

@@ -57,7 +57,7 @@ fn pipeline_generate_train_predict() {
 
     // Predictions on held-out data correlate with the simulator.
     let ev = collect_predictions(&model, test_set);
-    let s = ev.delay_summary();
+    let s = ev.delay_summary().expect("non-empty eval");
     assert!(s.pearson_r > 0.6, "weak correlation: r = {}", s.pearson_r);
     assert!(s.mre.is_finite());
 }
@@ -110,7 +110,7 @@ fn mm1_baseline_accurate_on_mm1_exact_labels() {
     cfg.routing = RoutingDiversity::Fixed;
     let data = generate_dataset_with_threads(&cfg, 2);
     let ev = collect_predictions(&Mm1Baseline::default(), &data);
-    let s = ev.delay_summary();
+    let s = ev.delay_summary().expect("non-empty eval");
     assert!(
         s.median_re < 0.15,
         "M/M/1 medRE {} too high on exact labels",
@@ -179,7 +179,7 @@ fn routenet_transfers_across_graph_sizes() {
             .map(|s| s.targets.iter().filter(|t| t.delay_s > 0.0).count())
             .sum::<usize>()
     );
-    let s = ev.delay_summary();
+    let s = ev.delay_summary().expect("non-empty eval");
     assert!(
         s.pearson_r > 0.3,
         "transfer correlation too weak: {}",
