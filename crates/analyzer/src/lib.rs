@@ -12,6 +12,8 @@
 //! tests). Both produce a [`Report`] with `file:line` diagnostics and a
 //! machine-readable JSON rendering.
 
+pub mod callgraph;
+pub mod concurrency;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
@@ -46,10 +48,17 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/simnet/",
     "crates/dataset/",
     "crates/core/",
+    "crates/analyzer/",
+    "crates/obs/",
 ];
 
 /// Crates whose `Result`-returning public APIs must carry `#[must_use]`.
-const MUST_USE_CRATES: &[&str] = &["crates/core/", "crates/dataset/"];
+const MUST_USE_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/dataset/",
+    "crates/analyzer/",
+    "crates/obs/",
+];
 
 /// Directory components that exclude a file from analysis entirely.
 const SKIP_DIRS: &[&str] = &[
@@ -152,16 +161,27 @@ impl Report {
 
     /// Machine-readable JSON rendering (hand-rolled: this crate is
     /// dependency-free so it can never be broken by the code it audits).
-    /// Schema: `analyzer-report v2` — adds stable rule IDs, severities, and
-    /// a summary block over v1.
+    /// Schema: `analyzer-report v3` — adds a per-rule count breakdown
+    /// (`summary.by_rule`, registry order, nonzero rules only) over v2,
+    /// which added stable rule IDs, severities, and a summary block over v1.
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"schema\": \"analyzer-report\",\n  \"version\": 2,\n  \"files_scanned\": {},\n",
+            "  \"schema\": \"analyzer-report\",\n  \"version\": 3,\n  \"files_scanned\": {},\n",
             self.files_scanned
         ));
+        let by_rule: Vec<(&str, usize)> = rules::RULE_NAMES
+            .iter()
+            .map(|r| (*r, self.diagnostics.iter().filter(|d| d.rule == *r).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        let by_rule_json = by_rule
+            .iter()
+            .map(|(r, n)| format!("{}: {n}", json_str(r)))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "  \"summary\": {{\"diagnostics\": {}, \"deny\": {}, \"warn\": {}, \"baselined\": {}}},\n",
+            "  \"summary\": {{\"diagnostics\": {}, \"deny\": {}, \"warn\": {}, \"baselined\": {}, \"by_rule\": {{{by_rule_json}}}}},\n",
             self.diagnostics.len(),
             self.deny_count(),
             self.warn_count(),
@@ -261,6 +281,7 @@ pub struct Baseline {
 
 impl Baseline {
     /// Parse a baseline file. Blank lines and `#` comments are ignored.
+    #[must_use = "a dropped baseline means the ratchet is not applied"]
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut b = Baseline::default();
         for (lineno, line) in text.lines().enumerate() {
@@ -343,13 +364,35 @@ impl Baseline {
         }
         stale
     }
+
+    /// Keep only the entries whose file is in `files`. Used by
+    /// `--changed-only`: entries for unscanned files would otherwise all
+    /// read as stale.
+    pub fn retain_files(&mut self, files: &[String]) {
+        self.entries
+            .retain(|(_, f, _)| files.iter().any(|x| x == f));
+    }
 }
 
 /// Analyze the whole workspace rooted at `root` (the directory holding the
 /// top-level `Cargo.toml`). Scans `src/` and `crates/*/src/`; `tests/`,
 /// `benches/`, `examples/`, `fixtures/`, and `vendor/` are exempt, and
 /// `src/bin/` is exempt from the panic audit only.
+#[must_use = "the report carries the findings; dropping it skips the gate"]
 pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    analyze_workspace_filtered(root, None)
+}
+
+/// Like [`analyze_workspace`], but when `only` is given, rule passes (and
+/// `files_scanned`) are restricted to the listed workspace-relative paths.
+/// The call graph is still built over the *whole* workspace so transitive
+/// RN2xx evidence does not depend on the filter (`--changed-only` must never
+/// see fewer hazards than a full run).
+#[must_use = "the report carries the findings; dropping it skips the gate"]
+pub fn analyze_workspace_filtered(
+    root: &Path,
+    only: Option<&[String]>,
+) -> Result<Report, AnalyzeError> {
     let mut files = Vec::new();
     for base in ["src", "crates"] {
         let dir = root.join(base);
@@ -358,46 +401,60 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
         }
     }
     files.sort();
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let rules = rules_for(&rel);
-        analyze_one(path, &rel, rules, &mut report)?;
+        let source = fs::read_to_string(path).map_err(|e| AnalyzeError {
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        sources.push((rel, source));
+    }
+    let graph = callgraph::CallGraph::build(&sources);
+    let mut report = Report::default();
+    for (rel, source) in &sources {
+        if let Some(filter) = only {
+            if !filter.iter().any(|f| f == rel) {
+                continue;
+            }
+        }
+        let rules = rules_for(rel);
+        let file = rules::analyze_source_with(rel, source, rules, Some(&graph));
+        report.files_scanned += 1;
+        report.diagnostics.extend(file.diagnostics);
+        report.invariants.extend(file.invariants);
+        report.allows.extend(file.allows);
     }
     report.sort();
     Ok(report)
 }
 
-/// Analyze explicit paths with every rule enabled (fixture mode).
+/// Analyze explicit paths with every rule enabled (fixture mode). The call
+/// graph spans exactly the given files.
+#[must_use = "the report carries the findings; dropping it skips the gate"]
 pub fn analyze_paths(paths: &[PathBuf]) -> Result<Report, AnalyzeError> {
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(paths.len());
     for path in paths {
         let rel = path.to_string_lossy().replace('\\', "/");
-        analyze_one(path, &rel, RuleSet::all(), &mut report)?;
+        let source = fs::read_to_string(path).map_err(|e| AnalyzeError {
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        sources.push((rel, source));
+    }
+    let graph = callgraph::CallGraph::build(&sources);
+    let mut report = Report::default();
+    for (rel, source) in &sources {
+        let file = rules::analyze_source_with(rel, source, RuleSet::all(), Some(&graph));
+        report.files_scanned += 1;
+        report.diagnostics.extend(file.diagnostics);
+        report.invariants.extend(file.invariants);
+        report.allows.extend(file.allows);
     }
     report.sort();
     Ok(report)
-}
-
-fn analyze_one(
-    path: &Path,
-    rel: &str,
-    rules: RuleSet,
-    report: &mut Report,
-) -> Result<(), AnalyzeError> {
-    let source = fs::read_to_string(path).map_err(|e| AnalyzeError {
-        message: format!("cannot read {}: {e}", path.display()),
-    })?;
-    let file = rules::analyze_source(rel, &source, rules);
-    report.files_scanned += 1;
-    report.diagnostics.extend(file.diagnostics);
-    report.invariants.extend(file.invariants);
-    report.allows.extend(file.allows);
-    Ok(())
 }
 
 /// Rule selection by path: hot paths get the full audit, `src/bin/` binaries
@@ -416,6 +473,7 @@ fn rules_for(rel: &str) -> RuleSet {
     };
     rules.determinism = DETERMINISM_CRATES.iter().any(|c| rel.starts_with(c));
     rules.hot_loop_alloc = ALLOC_HOT_PATHS.iter().any(|h| rel.ends_with(h));
+    rules.hot_loop_lock = ALLOC_HOT_PATHS.iter().any(|h| rel.ends_with(h));
     rules.must_use = !is_bin && MUST_USE_CRATES.iter().any(|c| rel.starts_with(c));
     rules.error_discard = !is_bin;
     rules
@@ -510,8 +568,9 @@ mod tests {
         ));
         let j = r.json();
         assert!(j.contains("\"schema\": \"analyzer-report\""));
-        assert!(j.contains("\"version\": 2"));
+        assert!(j.contains("\"version\": 3"));
         assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"by_rule\": {\"panic\": 1}"));
         assert!(j.contains("\"id\": \"RN001\""));
         assert!(j.contains("\"severity\": \"deny\""));
         assert!(j.contains("\\\"quotes\\\""));

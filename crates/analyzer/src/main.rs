@@ -1,22 +1,30 @@
 //! CLI for the workspace static-analysis gate.
 //!
 //! ```text
-//! routenet-analyzer --workspace [--root DIR] [--json FILE]
+//! routenet-analyzer --workspace [--root DIR] [--json FILE] [--changed-only]
 //!                   [--deny RULE] [--warn RULE]
 //!                   [--baseline FILE | --write-baseline FILE]
 //! routenet-analyzer [--json FILE] FILE.rs [FILE.rs ...]
 //! ```
 //!
+//! `--changed-only` restricts the rule passes to files reported changed by
+//! `git diff --name-only HEAD` plus untracked files — the fast pre-commit
+//! loop. The call graph is still built over the whole workspace, so
+//! transitive RN2xx evidence is identical to a full run.
+//!
 //! Exit codes: 0 clean (no deny-level findings after baseline subtraction),
 //! 1 deny-level findings or a stale baseline, 2 usage or I/O error.
 
 use routenet_analyzer::rules::{Severity, RULE_NAMES};
-use routenet_analyzer::{analyze_paths, analyze_workspace, find_workspace_root, Baseline, Report};
-use std::path::PathBuf;
+use routenet_analyzer::{
+    analyze_paths, analyze_workspace_filtered, find_workspace_root, Baseline, Report,
+};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
     workspace: bool,
+    changed_only: bool,
     root: Option<PathBuf>,
     json: Option<PathBuf>,
     baseline: Option<PathBuf>,
@@ -40,6 +48,7 @@ fn parse_rule_arg(flag: &str, value: Option<String>) -> Result<String, String> {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
+        changed_only: false,
         root: None,
         json: None,
         baseline: None,
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
+            "--changed-only" => args.changed_only = true,
             "--root" => {
                 let v = it.next().ok_or("--root requires a directory argument")?;
                 args.root = Some(PathBuf::from(v));
@@ -89,6 +99,9 @@ fn parse_args() -> Result<Args, String> {
     if args.baseline.is_some() && args.write_baseline.is_some() {
         return Err("--baseline and --write-baseline are mutually exclusive".to_string());
     }
+    if args.changed_only && !args.workspace {
+        return Err("--changed-only requires --workspace".to_string());
+    }
     if args.workspace == args.paths.is_empty() {
         Ok(args)
     } else if args.workspace {
@@ -100,21 +113,59 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: routenet-analyzer --workspace [--root DIR] [--json FILE]\n                          [--deny RULE] [--warn RULE]\n                          [--baseline FILE | --write-baseline FILE]\n       routenet-analyzer [--json FILE] FILE.rs [FILE.rs ...]"
+        "usage: routenet-analyzer --workspace [--root DIR] [--json FILE] [--changed-only]\n                          [--deny RULE] [--warn RULE]\n                          [--baseline FILE | --write-baseline FILE]\n       routenet-analyzer [--json FILE] FILE.rs [FILE.rs ...]"
     );
 }
 
-fn run(args: &Args) -> Result<Report, String> {
-    if args.workspace {
-        let root = match &args.root {
-            Some(r) => r.clone(),
-            None => {
-                let cwd = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
-                find_workspace_root(&cwd)
-                    .ok_or("no workspace root (Cargo.toml with [workspace]) found above cwd")?
+fn resolve_root(args: &Args) -> Result<PathBuf, String> {
+    match &args.root {
+        Some(r) => Ok(r.clone()),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                "no workspace root (Cargo.toml with [workspace]) found above cwd".to_string()
+            })
+        }
+    }
+}
+
+/// Workspace-relative paths of `.rs` files `git` reports as modified
+/// (vs. HEAD) or untracked. Sorted and deduplicated.
+fn git_changed_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::new();
+    for extra in [
+        ["diff", "--name-only", "HEAD"].as_slice(),
+        ["ls-files", "--others", "--exclude-standard"].as_slice(),
+    ] {
+        let cmd = std::process::Command::new("git")
+            .args(extra)
+            .current_dir(root)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !cmd.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                extra.join(" "),
+                String::from_utf8_lossy(&cmd.stderr).trim()
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&cmd.stdout);
+        for line in stdout.lines() {
+            let line = line.trim();
+            if line.ends_with(".rs") && root.join(line).is_file() {
+                out.push(line.to_string());
             }
-        };
-        analyze_workspace(&root).map_err(|e| e.to_string())
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn run(args: &Args, changed: Option<&[String]>) -> Result<Report, String> {
+    if args.workspace {
+        let root = resolve_root(args)?;
+        analyze_workspace_filtered(&root, changed).map_err(|e| e.to_string())
     } else {
         analyze_paths(&args.paths).map_err(|e| e.to_string())
     }
@@ -131,7 +182,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut report = match run(&args) {
+    let changed = if args.changed_only {
+        let root = match resolve_root(&args) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        match git_changed_files(&root) {
+            Ok(files) => Some(files),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+    let mut report = match run(&args, changed.as_deref()) {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -139,8 +208,13 @@ fn main() -> ExitCode {
         }
     };
     // A gate that scanned nothing must not report green: a mistyped --root
-    // would otherwise pass CI silently.
+    // would otherwise pass CI silently. In --changed-only mode an empty scan
+    // is the expected no-op on a clean tree.
     if report.files_scanned == 0 {
+        if changed.is_some() {
+            eprintln!("changed-only: no changed .rs files under analysis scope; nothing to do");
+            return ExitCode::SUCCESS;
+        }
         eprintln!("error: no .rs files found to analyze");
         return ExitCode::from(2);
     }
@@ -167,13 +241,18 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let baseline = match Baseline::parse(&text) {
+        let mut baseline = match Baseline::parse(&text) {
             Ok(b) => b,
             Err(msg) => {
                 eprintln!("error: {}: {msg}", path.display());
                 return ExitCode::from(2);
             }
         };
+        // Entries for files outside the changed set were not scanned this
+        // run; keeping them would misread as stale.
+        if let Some(files) = &changed {
+            baseline.retain_files(files);
+        }
         stale_baseline = baseline.apply(&mut report);
     }
     if let Some(json_path) = &args.json {

@@ -114,6 +114,31 @@ pub const RULES: &[RuleInfo] = &[
         id: "RN103",
         default_severity: Severity::Warn,
     },
+    RuleInfo {
+        name: "parallel-shared-mut",
+        id: "RN201",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "parallel-float-reduce",
+        id: "RN202",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "parallel-rng",
+        id: "RN203",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "hot-loop-lock",
+        id: "RN204",
+        default_severity: Severity::Warn,
+    },
+    RuleInfo {
+        name: "relaxed-publish",
+        id: "RN205",
+        default_severity: Severity::Deny,
+    },
 ];
 
 /// All rule names, in registry order.
@@ -128,6 +153,11 @@ pub const RULE_NAMES: &[&str] = &[
     "determinism",
     "error-discard",
     "hot-loop-alloc",
+    "parallel-shared-mut",
+    "parallel-float-reduce",
+    "parallel-rng",
+    "hot-loop-lock",
+    "relaxed-publish",
 ];
 
 /// Registry entry for `rule` (`None` for unknown names).
@@ -226,6 +256,13 @@ pub struct RuleSet {
     pub must_use: bool,
     /// Flag allocation in loop bodies (allocation-hot files only).
     pub hot_loop_alloc: bool,
+    /// RN201/202/203/205: parallel-region determinism audits (spawn-body
+    /// shared mutation, shared float reduction, shared RNG streams, relaxed
+    /// publication).
+    pub concurrency: bool,
+    /// RN204: flag lock acquisition in loop bodies (allocation-hot files
+    /// only, same scope as `hot_loop_alloc`).
+    pub hot_loop_lock: bool,
 }
 
 impl RuleSet {
@@ -242,6 +279,8 @@ impl RuleSet {
             error_discard: true,
             must_use: true,
             hot_loop_alloc: true,
+            concurrency: true,
+            hot_loop_lock: true,
         }
     }
 
@@ -254,6 +293,7 @@ impl RuleSet {
             determinism: false,
             must_use: false,
             hot_loop_alloc: false,
+            hot_loop_lock: false,
             ..RuleSet::all()
         }
     }
@@ -280,6 +320,11 @@ impl RuleSet {
             "determinism" => self.determinism,
             "error-discard" => self.error_discard || self.must_use,
             "hot-loop-alloc" => self.hot_loop_alloc,
+            "parallel-shared-mut"
+            | "parallel-float-reduce"
+            | "parallel-rng"
+            | "relaxed-publish" => self.concurrency,
+            "hot-loop-lock" => self.hot_loop_lock,
             "lint-syntax" | "lint-stale" => true,
             _ => false,
         }
@@ -297,8 +342,20 @@ pub struct FileReport {
     pub allows: Vec<AllowEntry>,
 }
 
-/// Analyze one file's source text.
+/// Analyze one file's source text (no call-graph context: the RN203/RN204
+/// transitive checks fall back to direct evidence only).
 pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
+    analyze_source_with(file, source, rules, None)
+}
+
+/// Analyze one file's source text with optional workspace call-graph
+/// context for the transitive RN2xx checks.
+pub fn analyze_source_with(
+    file: &str,
+    source: &str,
+    rules: RuleSet,
+    graph: Option<&crate::callgraph::CallGraph>,
+) -> FileReport {
     let lexed = crate::lexer::lex(source);
     let test_spans = test_mod_spans(&lexed.tokens);
     let fns = function_spans(&lexed.tokens);
@@ -329,6 +386,9 @@ pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
     }
     if rules.hot_loop_alloc {
         hot_loop_alloc_rule(file, &lexed.tokens, &parsed, &mut raw);
+    }
+    if rules.concurrency || rules.hot_loop_lock {
+        crate::concurrency::concurrency_rules(file, &lexed.tokens, &parsed, graph, rules, &mut raw);
     }
 
     let mut invariants = Vec::new();
@@ -535,7 +595,7 @@ fn parse_allow(text: &str) -> Result<(String, String), String> {
     let rule = rule.trim().to_string();
     if !RULE_NAMES.contains(&rule.as_str()) {
         return Err(format!(
-            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc)"
+            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc, parallel-shared-mut, parallel-float-reduce, parallel-rng, hot-loop-lock, relaxed-publish)"
         ));
     }
     let reason = rest
@@ -558,12 +618,12 @@ fn parse_allow(text: &str) -> Result<(String, String), String> {
 // Structural scans: `#[cfg(test)] mod` spans and function spans
 // ---------------------------------------------------------------------------
 
-fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
+pub(crate) fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
     spans.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
 
 /// Line spans of `#[cfg(test)] mod .. { .. }` bodies.
-fn test_mod_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_mod_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -646,15 +706,15 @@ pub(crate) fn skip_balanced(tokens: &[Token], open: usize, open_t: &str, close_t
 
 /// A function item: name, signature line, and body token/line extent.
 #[derive(Debug)]
-struct FnSpan {
-    name: String,
-    sig_line: u32,
-    body_start_line: u32,
-    body_end_line: u32,
-    body_tokens: (usize, usize),
+pub(crate) struct FnSpan {
+    pub(crate) name: String,
+    pub(crate) sig_line: u32,
+    pub(crate) body_start_line: u32,
+    pub(crate) body_end_line: u32,
+    pub(crate) body_tokens: (usize, usize),
 }
 
-fn function_spans(tokens: &[Token]) -> Vec<FnSpan> {
+pub(crate) fn function_spans(tokens: &[Token]) -> Vec<FnSpan> {
     let mut fns = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {

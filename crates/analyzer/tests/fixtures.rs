@@ -234,6 +234,59 @@ fn hot_loop_clean_fixture_passes() {
 }
 
 #[test]
+fn concurrency_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["concurrency.rs"]);
+    // RN201/202/203/205 are deny by default, so the run fails.
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert_eq!(
+        count_rule(&stdout, "parallel-shared-mut"),
+        1,
+        "stdout:\n{stdout}"
+    );
+    assert_eq!(
+        count_rule(&stdout, "parallel-float-reduce"),
+        1,
+        "stdout:\n{stdout}"
+    );
+    // One direct draw and one callgraph-transitive draw.
+    assert_eq!(count_rule(&stdout, "parallel-rng"), 2, "stdout:\n{stdout}");
+    // One direct .lock() in a loop and one transitive through record().
+    assert_eq!(count_rule(&stdout, "hot-loop-lock"), 2, "stdout:\n{stdout}");
+    assert_eq!(
+        count_rule(&stdout, "relaxed-publish"),
+        1,
+        "stdout:\n{stdout}"
+    );
+    for line in [
+        "concurrency.rs:11:",
+        "concurrency.rs:21:",
+        "concurrency.rs:27:",
+        "concurrency.rs:28:",
+        "concurrency.rs:35:",
+        "concurrency.rs:41:",
+        "concurrency.rs:49:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    // The Relaxed counter (fetch_add) must not be flagged.
+    assert!(
+        !stdout.contains("concurrency.rs:34:"),
+        "relaxed counter flagged:\n{stdout}"
+    );
+    for id in ["RN201", "RN202", "RN203", "RN204", "RN205"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+    assert!(stdout.contains("5 deny, 2 warn"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn concurrency_clean_fixture_passes() {
+    let (out, stdout) = run_on_fixtures(&["concurrency_clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
 fn deny_flag_escalates_warn_rules() {
     let path = fixture("hot_loop.rs");
     let out = run(&["--deny", "hot-loop-alloc", &path.to_string_lossy()]);
@@ -279,6 +332,8 @@ fn workspace_tree_is_clean() {
         &root.to_string_lossy(),
         "--deny",
         "hot-loop-alloc",
+        "--deny",
+        "hot-loop-lock",
         "--baseline",
         &baseline.to_string_lossy(),
     ]);
@@ -324,7 +379,8 @@ fn json_report_is_emitted() {
         json.contains("\"schema\": \"analyzer-report\""),
         "json:\n{json}"
     );
-    assert!(json.contains("\"version\": 2"), "json:\n{json}");
+    assert!(json.contains("\"version\": 3"), "json:\n{json}");
+    assert!(json.contains("\"by_rule\""), "json:\n{json}");
     assert!(json.contains("\"rule\": \"panic\""), "json:\n{json}");
     assert!(json.contains("\"id\": \"RN001\""), "json:\n{json}");
     assert!(json.contains("\"severity\": \"deny\""), "json:\n{json}");

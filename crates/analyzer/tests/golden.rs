@@ -1,4 +1,4 @@
-//! Golden-file tests for the `analyzer-report v2` JSON schema: one per
+//! Golden-file tests for the `analyzer-report v3` JSON schema: one per
 //! semantic rule family. The binary is run from the crate root with relative
 //! fixture paths so the `file` fields in the report are machine-independent,
 //! and the emitted JSON must match the committed golden byte-for-byte.
@@ -64,5 +64,21 @@ fn hot_loop_report_matches_golden() {
     golden_check(
         "tests/fixtures/hot_loop.rs",
         "tests/fixtures/golden/hot_loop.json",
+    );
+}
+
+#[test]
+fn concurrency_report_matches_golden() {
+    golden_check(
+        "tests/fixtures/concurrency.rs",
+        "tests/fixtures/golden/concurrency.json",
+    );
+}
+
+#[test]
+fn concurrency_clean_report_matches_golden() {
+    golden_check(
+        "tests/fixtures/concurrency_clean.rs",
+        "tests/fixtures/golden/concurrency_clean.json",
     );
 }

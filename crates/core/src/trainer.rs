@@ -392,31 +392,39 @@ fn batch_losses(
         // lint: allow(panic, reason = "chunk indices are minted from 0..items.len() by the batch scheduler")
         return chunk.iter().map(|&i| item_loss(model, &items[i])).collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            // lint: allow(hot-loop-alloc, reason = "Sender::clone is an Arc refcount bump, once per worker thread, not per item")
-            let tx = tx.clone();
-            scope.spawn(|_| {
-                let tx = tx;
-                loop {
-                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if k >= chunk.len() {
-                        break;
+    // Blessed indexed write-slot pattern (DESIGN.md "Parallelism safety
+    // contract"): worker `w` takes the strided indices w, w+workers, ... —
+    // a deterministic assignment — computes into a worker-local Vec, and
+    // returns it through its join handle. The sequential interleave below
+    // restores `chunk` order, so the reduction never depends on scheduling.
+    let parts: Vec<Vec<(f64, Vec<(routenet_nn::ParamId, Tensor)>)>> =
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                handles.push(scope.spawn(move |_| {
+                    // lint: allow(hot-loop-alloc, reason = "one result Vec per worker thread, not per item")
+                    let mut part = Vec::with_capacity(chunk.len().div_ceil(workers));
+                    let mut k = w;
+                    while k < chunk.len() {
+                        // lint: allow(panic, reason = "k < chunk.len() checked by the stride loop; chunk indices minted from 0..items.len()")
+                        part.push(item_loss(model, &items[chunk[k]]));
+                        k += workers;
                     }
-                    // lint: allow(panic, reason = "k < chunk.len() checked above; chunk indices minted from 0..items.len()")
-                    tx.send((k, item_loss(model, &items[chunk[k]])))
-                        .expect("collector alive"); // lint: allow(panic, reason = "receiver outlives the scope; it is dropped after join")
-                }
-            });
-        }
-    })
-    .expect("training workers do not panic"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
-    drop(tx);
-    let mut out: Vec<(usize, _)> = rx.into_iter().collect();
-    out.sort_by_key(|(k, _)| *k);
-    out.into_iter().map(|(_, v)| v).collect()
+                    part
+                }));
+            }
+            handles
+                .into_iter()
+                // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+                .map(|h| h.join().expect("training workers do not panic"))
+                .collect()
+        })
+        .expect("training scope joins cleanly"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+    let mut iters: Vec<_> = parts.into_iter().map(Vec::into_iter).collect();
+    (0..chunk.len())
+        // lint: allow(panic, reason = "worker w holds exactly the indices k with k % workers == w, so each next() yields")
+        .map(|k| iters[k % workers].next().expect("stride invariant"))
+        .collect()
 }
 
 fn validate_config(cfg: &TrainConfig) -> Result<(), TrainError> {
@@ -690,6 +698,7 @@ pub fn train_with_control(
             if state.rollbacks >= cfg.max_rollbacks {
                 install_state(&state, model, &mut opt, &mut rng);
                 if let Some(path) = &cfg.checkpoint_path {
+                    // lint: allow(hot-loop-lock, reason = "terminal divergence exit: one telemetry lock on the way out, not per-iteration work")
                     save_checkpoint(&state, path, &cfg.telemetry)?;
                 }
                 return Err(TrainError::Diverged {
@@ -731,15 +740,25 @@ pub fn train_with_control(
             state.set_best_loss(selection);
             state.best_epoch = epoch;
             if cfg.keep_best {
-                state.best_params = Some(model.store().clone());
+                // Reuse the previous snapshot's buffers: after the first
+                // improvement this copies in place instead of reallocating.
+                match &mut state.best_params {
+                    Some(best) => best.copy_from(model.store()),
+                    None => state.best_params = Some(model.store().clone()), // lint: allow(hot-loop-alloc, reason = "first best-snapshot only; every later improvement reuses these buffers via copy_from")
+                }
             }
         }
         if cfg.verbose {
-            eprintln!(
-                "epoch {epoch:3}  train {train_loss:.5}  val {}  lr {:.2e}",
-                val_loss.map_or("-".into(), |v| format!("{v:.5}")),
-                opt.lr
-            );
+            match val_loss {
+                Some(v) => eprintln!(
+                    "epoch {epoch:3}  train {train_loss:.5}  val {v:.5}  lr {:.2e}",
+                    opt.lr
+                ),
+                None => eprintln!(
+                    "epoch {epoch:3}  train {train_loss:.5}  val -  lr {:.2e}",
+                    opt.lr
+                ),
+            }
         }
         state.epochs.push(EpochStats {
             epoch,
@@ -767,13 +786,14 @@ pub fn train_with_control(
         }
         spike_ref = Some(train_loss);
 
-        state.params = model.store().clone();
-        state.opt = opt.clone();
+        state.params.copy_from(model.store());
+        state.opt.copy_state_from(&opt);
         state.rng = rng.state();
         state.epoch_next = epoch + 1;
 
         if let Some(path) = &cfg.checkpoint_path {
             if state.epoch_next.is_multiple_of(cfg.checkpoint_every) {
+                // lint: allow(hot-loop-lock, reason = "epoch-boundary checkpoint telemetry: one lock per checkpoint interval, not per-iteration work")
                 save_checkpoint(&state, path, &cfg.telemetry)?;
             }
         }

@@ -279,32 +279,41 @@ pub fn generate_dataset_with_threads(cfg: &GenConfig, workers: usize) -> Vec<Sam
             .collect();
         (samples, times, 1)
     } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, Sample, f64)>();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                scope.spawn(|_| {
-                    let tx = tx;
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cfg.n_samples {
-                            break;
-                        }
-                        let (s, dt) = generate_sample_timed(cfg, i);
-                        tx.send((i, s, dt))
-                            // lint: allow(panic, reason = "receiver outlives the scope; it is dropped after join")
-                            .expect("collector alive");
+        // Blessed indexed write-slot pattern (DESIGN.md "Parallelism safety
+        // contract"): worker `w` generates the strided sample indices w,
+        // w+workers, ... into its own Vec (each sample still seeds its own
+        // RNG from `base_seed + i`), and the sequential interleave below
+        // restores index order — byte-identical output at any worker count.
+        let parts: Vec<Vec<(Sample, f64)>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                handles.push(scope.spawn(move |_| {
+                    let mut part = Vec::with_capacity(cfg.n_samples.div_ceil(workers));
+                    let mut i = w;
+                    while i < cfg.n_samples {
+                        part.push(generate_sample_timed(cfg, i));
+                        i += workers;
                     }
-                });
+                    part
+                }));
             }
+            handles
+                .into_iter()
+                // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+                .map(|h| h.join().expect("worker threads do not panic"))
+                .collect()
         })
-        .expect("worker threads do not panic"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
-        drop(tx);
-        let mut indexed: Vec<(usize, Sample, f64)> = rx.into_iter().collect();
-        indexed.sort_by_key(|(i, _, _)| *i);
-        let times = indexed.iter().map(|(_, _, dt)| *dt).collect();
-        let samples = indexed.into_iter().map(|(_, s, _)| s).collect();
+        .expect("generation scope joins cleanly"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+        let mut iters: Vec<_> = parts.into_iter().map(Vec::into_iter).collect();
+        let mut times = Vec::with_capacity(cfg.n_samples);
+        let samples = (0..cfg.n_samples)
+            .map(|i| {
+                // lint: allow(panic, reason = "worker w holds exactly the indices i with i % workers == w, so each next() yields")
+                let (s, dt) = iters[i % workers].next().expect("stride invariant");
+                times.push(dt);
+                s
+            })
+            .collect();
         (samples, times, workers)
     };
     if let Some(t0) = run_t0 {

@@ -116,6 +116,20 @@ impl Adam {
         &self.v
     }
 
+    /// Copy `src`'s full state (hyperparameters, step count, both moment
+    /// vectors) into `self`, reusing existing moment buffers when shapes line
+    /// up. Equivalent to `*self = src.clone()` without the steady-state
+    /// allocations — the epoch-boundary snapshot path for resumable training.
+    pub fn copy_state_from(&mut self, src: &Adam) {
+        self.lr = src.lr;
+        self.beta1 = src.beta1;
+        self.beta2 = src.beta2;
+        self.eps = src.eps;
+        self.t = src.t;
+        copy_moments(&mut self.m, &src.m);
+        copy_moments(&mut self.v, &src.v);
+    }
+
     /// Apply one update step.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         self.t += 1;
@@ -134,6 +148,19 @@ impl Adam {
                 let vhat = v.data()[i] / bc2;
                 p.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
+        }
+    }
+}
+
+/// Copy optimizer moment slots, reusing buffers for matching shapes.
+fn copy_moments(dst: &mut Vec<Option<Tensor>>, src: &[Option<Tensor>]) {
+    dst.resize(src.len(), None);
+    for (d, s) in dst.iter_mut().zip(src) {
+        match (d.as_mut(), s) {
+            (Some(dt), Some(st)) if (dt.rows(), dt.cols()) == (st.rows(), st.cols()) => {
+                dt.copy_from(st);
+            }
+            _ => d.clone_from(s),
         }
     }
 }
@@ -197,6 +224,25 @@ mod tests {
         assert_eq!(opt.steps(), 2);
         // Parameter moved in the negative gradient direction.
         assert!(store.get(w).get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn copy_state_from_equals_clone() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 2, vec![1.0, -2.0]));
+        let mut src = Adam::new(&store, 0.05);
+        src.step(&mut store, &[(w, Tensor::full(1, 2, 0.5))]);
+        src.step(&mut store, &[(w, Tensor::full(1, 2, -0.25))]);
+
+        // Fresh destination (empty moment slots): full copy.
+        let mut dst = Adam::new(&store, 0.9);
+        dst.copy_state_from(&src);
+        assert_eq!(dst, src);
+
+        // Steady state (shapes already match): buffers reused, still equal.
+        src.step(&mut store, &[(w, Tensor::full(1, 2, 1.5))]);
+        dst.copy_state_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

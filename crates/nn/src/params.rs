@@ -90,6 +90,26 @@ impl ParamStore {
         (0..self.entries.len()).map(ParamId)
     }
 
+    /// Copy `src`'s parameters into `self`, reusing existing tensor buffers
+    /// when names and shapes line up (the epoch-boundary snapshot path: after
+    /// the first epoch this never allocates). Falls back to a full clone when
+    /// the layouts differ, so the result always equals `src.clone()`.
+    pub fn copy_from(&mut self, src: &ParamStore) {
+        let layouts_match = self.entries.len() == src.entries.len()
+            && self.entries.iter().zip(&src.entries).all(|(a, b)| {
+                a.name == b.name
+                    && a.tensor.rows() == b.tensor.rows()
+                    && a.tensor.cols() == b.tensor.cols()
+            });
+        if layouts_match {
+            for (dst, s) in self.entries.iter_mut().zip(&src.entries) {
+                dst.tensor.copy_from(&s.tensor);
+            }
+        } else {
+            self.clone_from(src);
+        }
+    }
+
     /// Serialize all parameters to JSON (model checkpoint).
     pub fn to_json(&self) -> String {
         // lint: allow(panic, reason = "in-memory numeric data always serializes; f64 is emitted as a literal")
@@ -215,6 +235,23 @@ mod tests {
         let restored = ParamStore::from_json(&json).unwrap();
         assert_eq!(restored.get(a), store.get(a));
         assert_eq!(restored.name(b), "b");
+    }
+
+    #[test]
+    fn copy_from_equals_clone_in_both_layout_cases() {
+        let mut src = ParamStore::new();
+        let w = src.add("w", Tensor::full(2, 2, 1.5));
+        src.add("b", Tensor::zeros(1, 2));
+
+        // Layout mismatch (empty destination): falls back to clone.
+        let mut dst = ParamStore::new();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+
+        // Matching layout: buffers reused, values tracked.
+        src.get_mut(w).set(0, 0, -3.25);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -121,6 +121,18 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Copy `src`'s elements into `self` without reallocating. Shapes must
+    /// match — this is the buffer-reuse primitive for epoch-boundary state
+    /// snapshots (see `ParamStore::copy_from`).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Copy row `r` of `src` into row `dst_r` of `self`.
     pub fn copy_row_from(&mut self, dst_r: usize, src: &Tensor, src_r: usize) {
         assert_eq!(self.cols, src.cols, "row width mismatch");

@@ -557,6 +557,7 @@ impl Telemetry {
     /// Emit [`Event::RunEnd`], flush, and report any deferred sink failure.
     /// Callers that can print (binaries) should surface the error; library
     /// code may route it into its own error type.
+    #[must_use = "the returned Result carries deferred telemetry write failures"]
     pub fn finish(&self) -> std::io::Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());

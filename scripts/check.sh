@@ -30,13 +30,21 @@ fi
 
 # The analyzer gate diffs against the committed baseline (analyzer-baseline.txt):
 # new deny-level findings fail, and fixed findings also fail until the baseline
-# is shrunk — the ratchet only ever tightens. hot-loop-alloc is escalated to
-# deny here so CI blocks new allocation churn in the kernels even though the
-# rule defaults to warn for local runs.
+# is shrunk — the ratchet only ever tightens. hot-loop-alloc and hot-loop-lock
+# are escalated to deny here so CI blocks new allocation churn and per-iteration
+# lock traffic in the kernels even though the rules default to warn for local
+# runs. In --quick mode only git-changed files are scanned (the call graph is
+# still workspace-wide, so transitive RN2xx evidence is unaffected).
 step "routenet-analyzer --workspace (baseline ratchet)"
 mkdir -p target
+CHANGED_ONLY=()
+if [[ "$QUICK" -eq 1 ]]; then
+    CHANGED_ONLY=(--changed-only)
+fi
 cargo run -q -p routenet-analyzer -- --workspace \
+    "${CHANGED_ONLY[@]}" \
     --deny hot-loop-alloc \
+    --deny hot-loop-lock \
     --baseline analyzer-baseline.txt \
     --json target/analyzer-report.json
 
