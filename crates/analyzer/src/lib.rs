@@ -50,6 +50,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/core/",
     "crates/analyzer/",
     "crates/obs/",
+    "crates/faults/",
 ];
 
 /// Crates whose `Result`-returning public APIs must carry `#[must_use]`.
@@ -58,7 +59,15 @@ const MUST_USE_CRATES: &[&str] = &[
     "crates/dataset/",
     "crates/analyzer/",
     "crates/obs/",
+    "crates/faults/",
 ];
+
+/// Crates whose library code must route all filesystem access through the
+/// `routenet-faults` IO seam — direct `std::fs` use there escapes fault
+/// injection, retry, and the chaos tests (RN301). Binaries are exempt
+/// (they wire the seam up), as is `routenet-faults` itself (it *is* the
+/// seam).
+const IO_SEAM_CRATES: &[&str] = &["crates/core/", "crates/dataset/", "crates/obs/"];
 
 /// Directory components that exclude a file from analysis entirely.
 const SKIP_DIRS: &[&str] = &[
@@ -476,6 +485,7 @@ fn rules_for(rel: &str) -> RuleSet {
     rules.hot_loop_lock = ALLOC_HOT_PATHS.iter().any(|h| rel.ends_with(h));
     rules.must_use = !is_bin && MUST_USE_CRATES.iter().any(|c| rel.starts_with(c));
     rules.error_discard = !is_bin;
+    rules.io_seam = !is_bin && IO_SEAM_CRATES.iter().any(|c| rel.starts_with(c));
     rules
 }
 
@@ -552,6 +562,14 @@ mod tests {
         // error-discard: everywhere except binaries.
         assert!(rules_for("crates/nn/src/tensor.rs").error_discard);
         assert!(!rules_for("crates/bench/src/bin/fig2.rs").error_discard);
+        // io-seam: the seam crates' library code only — never binaries,
+        // never the faults crate itself.
+        assert!(rules_for("crates/core/src/checkpoint.rs").io_seam);
+        assert!(rules_for("crates/dataset/src/io.rs").io_seam);
+        assert!(rules_for("crates/obs/src/lib.rs").io_seam);
+        assert!(!rules_for("crates/obs/src/bin/validate-telemetry.rs").io_seam);
+        assert!(!rules_for("crates/faults/src/fs.rs").io_seam);
+        assert!(!rules_for("crates/nn/src/tensor.rs").io_seam);
     }
 
     #[test]

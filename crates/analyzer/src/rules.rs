@@ -18,6 +18,7 @@
 //! | `determinism`    | iteration over `HashMap`/`HashSet` (hash order feeds labels/features/training order) unless the statement sorts the result or collects into an ordered type |
 //! | `error-discard`  | `let _ = <call>;`, bare `.ok();`, and `pub fn .. -> Result` without `#[must_use]` in the crates whose errors gate correctness |
 //! | `hot-loop-alloc` | `Vec::new` / `vec!` / `.clone()` / `.to_vec()` / `format!` / `.to_string()` / `.to_owned()` inside loop bodies or iterator-adapter closures of hot-path files |
+//! | `io-seam`        | direct `std::fs` / `File::create` / `OpenOptions` use in the IO-seam crates (core/dataset/obs library code must route filesystem access through the `routenet-faults` seam so fault injection and retry apply) |
 //!
 //! Suppression: `// lint: allow(<rule>, reason = "...")`. A trailing
 //! directive covers its own line; a standalone directive covers the next
@@ -139,6 +140,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "RN205",
         default_severity: Severity::Deny,
     },
+    RuleInfo {
+        name: "io-seam",
+        id: "RN301",
+        default_severity: Severity::Deny,
+    },
 ];
 
 /// All rule names, in registry order.
@@ -158,6 +164,7 @@ pub const RULE_NAMES: &[&str] = &[
     "parallel-rng",
     "hot-loop-lock",
     "relaxed-publish",
+    "io-seam",
 ];
 
 /// Registry entry for `rule` (`None` for unknown names).
@@ -263,6 +270,9 @@ pub struct RuleSet {
     /// RN204: flag lock acquisition in loop bodies (allocation-hot files
     /// only, same scope as `hot_loop_alloc`).
     pub hot_loop_lock: bool,
+    /// RN301: flag direct `std::fs` / `File` / `OpenOptions` use in the
+    /// IO-seam crates — their library code must go through `routenet-faults`.
+    pub io_seam: bool,
 }
 
 impl RuleSet {
@@ -281,6 +291,7 @@ impl RuleSet {
             hot_loop_alloc: true,
             concurrency: true,
             hot_loop_lock: true,
+            io_seam: true,
         }
     }
 
@@ -294,6 +305,7 @@ impl RuleSet {
             must_use: false,
             hot_loop_alloc: false,
             hot_loop_lock: false,
+            io_seam: false,
             ..RuleSet::all()
         }
     }
@@ -325,6 +337,7 @@ impl RuleSet {
             | "parallel-rng"
             | "relaxed-publish" => self.concurrency,
             "hot-loop-lock" => self.hot_loop_lock,
+            "io-seam" => self.io_seam,
             "lint-syntax" | "lint-stale" => true,
             _ => false,
         }
@@ -386,6 +399,9 @@ pub fn analyze_source_with(
     }
     if rules.hot_loop_alloc {
         hot_loop_alloc_rule(file, &lexed.tokens, &parsed, &mut raw);
+    }
+    if rules.io_seam {
+        io_seam_rule(file, &lexed.tokens, &mut raw);
     }
     if rules.concurrency || rules.hot_loop_lock {
         crate::concurrency::concurrency_rules(file, &lexed.tokens, &parsed, graph, rules, &mut raw);
@@ -595,7 +611,7 @@ fn parse_allow(text: &str) -> Result<(String, String), String> {
     let rule = rule.trim().to_string();
     if !RULE_NAMES.contains(&rule.as_str()) {
         return Err(format!(
-            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc, parallel-shared-mut, parallel-float-reduce, parallel-rng, hot-loop-lock, relaxed-publish)"
+            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc, parallel-shared-mut, parallel-float-reduce, parallel-rng, hot-loop-lock, relaxed-publish, io-seam)"
         ));
     }
     let reason = rest
@@ -1271,6 +1287,74 @@ fn must_use_rule(file: &str, parsed: &Parsed, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: io-seam
+// ---------------------------------------------------------------------------
+
+/// Flag direct filesystem access in the IO-seam crates. Library code in
+/// core/dataset/obs must route all file IO through the `routenet-faults`
+/// seam (`FaultFs` / `atomic_write_with`) so fault injection, retry, and
+/// chaos tests see every operation. Detects `std::fs`, bare `fs::<call>`
+/// after `use std::fs;`, `File::create`/`open`/`options`, and
+/// `OpenOptions::new`.
+fn io_seam_rule(file: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    let flag = |out: &mut Vec<Diagnostic>, line: u32, what: &str| {
+        out.push(Diagnostic::new(
+            "io-seam",
+            file,
+            line,
+            format!(
+                "{what} bypasses the fault-injection seam — route file IO through `routenet_faults::FaultFs` (or `atomic_write_with`) so injected faults and retries apply, or justify with `// lint: allow(io-seam, reason = \"...\")`"
+            ),
+        ));
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let path_sep = |j: usize| matches!(tokens.get(j), Some(p) if p.text == "::");
+        // `std :: fs` anywhere (use declarations and fully-qualified calls).
+        if t.text == "std"
+            && path_sep(i + 1)
+            && matches!(tokens.get(i + 2), Some(m) if m.kind == TokenKind::Ident && m.text == "fs")
+        {
+            flag(out, t.line, "`std::fs`");
+            continue;
+        }
+        // Bare `fs :: <ident>` — a call through `use std::fs;`. Skip when
+        // `fs` is itself path-qualified (`std::fs::..` is caught above;
+        // `routenet_faults::fs::..` is the seam itself).
+        if t.text == "fs"
+            && path_sep(i + 1)
+            && matches!(tokens.get(i + 2), Some(m) if m.kind == TokenKind::Ident)
+            && !(i >= 1 && tokens[i - 1].text == "::")
+        {
+            flag(out, t.line, "`fs::` call");
+            continue;
+        }
+        // `File :: create|open|options`. Skip `fs::File::..` — the `fs::`
+        // match above already flagged that line.
+        if t.text == "File"
+            && path_sep(i + 1)
+            && matches!(
+                tokens.get(i + 2),
+                Some(m) if m.text == "create" || m.text == "open" || m.text == "options"
+            )
+            && !(i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].text == "fs")
+        {
+            flag(out, t.line, &format!("`File::{}`", tokens[i + 2].text));
+            continue;
+        }
+        if t.text == "OpenOptions"
+            && path_sep(i + 1)
+            && matches!(tokens.get(i + 2), Some(m) if m.text == "new")
+            && !(i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].text == "fs")
+        {
+            flag(out, t.line, "`OpenOptions::new`");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: hot-loop-alloc
 // ---------------------------------------------------------------------------
 
@@ -1531,8 +1615,8 @@ mod tests {
     #[test]
     fn error_discard_flags_let_underscore_and_bare_ok() {
         let src = "fn f() {\n\
-                       let _ = std::fs::remove_file(\"x\");\n\
-                       std::fs::remove_file(\"y\").ok();\n\
+                       let _ = cleanup(\"x\");\n\
+                       cleanup(\"y\").ok();\n\
                    }";
         let rep = run(src);
         assert_eq!(rules_of(&rep), vec!["error-discard", "error-discard"]);
@@ -1637,6 +1721,58 @@ mod tests {
         assert_eq!(rule_id("determinism"), "RN101");
         assert_eq!(rule_id("error-discard"), "RN102");
         assert_eq!(rule_id("hot-loop-alloc"), "RN103");
+        assert_eq!(rule_id("io-seam"), "RN301");
         assert_eq!(rule_id("unheard-of"), "RN000");
+    }
+
+    #[test]
+    fn io_seam_flags_direct_fs_access() {
+        let src = "use std::fs::File;\n\
+                   fn f() -> std::io::Result<Vec<u8>> { std::fs::read(\"x\") }\n\
+                   fn g() -> std::io::Result<()> { File::create(\"x\").map(|_| ()) }\n\
+                   fn h() { OpenOptions::new(); }";
+        let r = run(src);
+        let lines: Vec<u32> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "io-seam")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn io_seam_flags_bare_fs_calls_after_use() {
+        let src = "use std::fs;\nfn f() -> std::io::Result<()> { fs::write(\"x\", b\"y\") }";
+        let r = run(src);
+        let lines: Vec<u32> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "io-seam")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2]);
+    }
+
+    #[test]
+    fn io_seam_ignores_the_seam_crate_path_and_test_modules() {
+        let src = "use routenet_faults::fs::RealFs;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                    fn f() { std::fs::write(\"x\", b\"y\").unwrap(); }\n\
+                   }";
+        let r = run(src);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.rule == "io-seam"),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn io_seam_allow_directive_suppresses() {
+        let src = "fn f() -> std::io::Result<Vec<u8>> { std::fs::read(\"x\") } // lint: allow(io-seam, reason = \"boot-time read before the seam is wired\")";
+        let r = run(src);
+        assert!(!r.diagnostics.iter().any(|d| d.rule == "io-seam"));
     }
 }

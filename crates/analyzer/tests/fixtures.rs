@@ -287,6 +287,43 @@ fn concurrency_clean_fixture_passes() {
 }
 
 #[test]
+fn io_seam_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["io_seam.rs"]);
+    // io-seam is deny by default, so the run fails.
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "io-seam"), 4, "stdout:\n{stdout}");
+    for line in [
+        "io_seam.rs:5:",
+        "io_seam.rs:8:",
+        "io_seam.rs:12:",
+        "io_seam.rs:16:",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    // The justified allow and the #[cfg(test)] module stay clean.
+    assert!(
+        !stdout.contains("io_seam.rs:21:"),
+        "allowed read flagged:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("io_seam.rs:28:"),
+        "test mod flagged:\n{stdout}"
+    );
+    assert!(stdout.contains("RN301"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("1 allow justification(s)"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn io_seam_clean_fixture_passes() {
+    let (out, stdout) = run_on_fixtures(&["io_seam_clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
 fn deny_flag_escalates_warn_rules() {
     let path = fixture("hot_loop.rs");
     let out = run(&["--deny", "hot-loop-alloc", &path.to_string_lossy()]);

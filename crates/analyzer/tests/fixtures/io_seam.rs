@@ -1,0 +1,30 @@
+//! RN301 fixture: direct filesystem access outside the fault-injection
+//! seam. Violations pinned to lines 5, 8, 12, and 16; the justified allow
+//! (line 21) and the `#[cfg(test)]` module (line 28) must stay clean.
+
+use std::fs::File;
+
+fn read_config(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+fn open_log(path: &str) -> std::io::Result<File> {
+    File::create(path)
+}
+
+fn append_log(path: &str) -> std::io::Result<File> {
+    OpenOptions::new().append(true).open(path)
+}
+
+// lint: allow(io-seam, reason = "fixture: boot-time read before the seam is wired")
+fn bootstrap(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn direct_fs_in_tests_is_fine() {
+        std::fs::write("/tmp/io-seam-fixture", b"y").unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! RN301 clean fixture: every filesystem touch goes through the
+//! `routenet-faults` seam, so the io-seam rule reports nothing.
+
+use routenet_faults::fs::RealFs;
+use routenet_faults::{atomic_write_with, FaultFs};
+
+fn save(fs: &dyn FaultFs, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write_with(fs, path, bytes)
+}
+
+fn load(fs: &dyn FaultFs, path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    fs.read(path)
+}
+
+fn default_seam() -> RealFs {
+    RealFs
+}

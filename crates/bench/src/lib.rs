@@ -176,7 +176,9 @@ pub fn run_experiment_with_control(
 
 /// Cooperative Ctrl-C handling for long-running training binaries: the
 /// first SIGINT sets the shared stop flag so the trainer checkpoints and
-/// exits cleanly at the next batch boundary instead of losing the run.
+/// exits cleanly at the next batch boundary instead of losing the run. A
+/// second SIGINT means the user wants out *now*: the handler exits
+/// immediately with status 130 (128 + SIGINT), skipping the graceful path.
 pub mod interrupt {
     use routenet_core::TrainControl;
     use std::sync::atomic::AtomicBool;
@@ -184,18 +186,33 @@ pub mod interrupt {
 
     static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
+    /// Conventional exit status for death-by-SIGINT (128 + signal 2).
+    pub const SIGINT_EXIT_CODE: i32 = 130;
+
     #[cfg(unix)]
     extern "C" fn handle_sigint(_signum: i32) {
-        // Async-signal-safe: a single atomic store on an already-initialized
-        // flag (ctrl_c_control initializes it before installing the handler).
+        // Async-signal-safe: a single atomic swap on an already-initialized
+        // flag (ctrl_c_control initializes it before installing the handler),
+        // and on the escalation path `_exit` — which, unlike `std::process::
+        // exit`, runs no atexit hooks or destructors and is on POSIX's
+        // async-signal-safe list.
         if let Some(flag) = FLAG.get() {
-            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            if flag.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                // Second Ctrl-C: the graceful shutdown is taking too long
+                // (or is stuck in a retry loop) — bail out immediately.
+                unsafe extern "C" {
+                    fn _exit(status: i32) -> !;
+                }
+                unsafe { _exit(SIGINT_EXIT_CODE) }
+            }
         }
     }
 
-    /// A [`TrainControl`] whose stop flag is set by SIGINT (Ctrl-C). The
-    /// handler is installed once; repeated calls share the same flag. On
-    /// non-Unix platforms the control is returned without a handler.
+    /// A [`TrainControl`] whose stop flag is set by the first SIGINT
+    /// (Ctrl-C); a second SIGINT exits immediately with
+    /// [`SIGINT_EXIT_CODE`]. The handler is installed once; repeated calls
+    /// share the same flag. On non-Unix platforms the control is returned
+    /// without a handler.
     pub fn ctrl_c_control() -> TrainControl {
         let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
         #[cfg(unix)]

@@ -23,11 +23,10 @@
 use crate::features::Normalizer;
 use crate::model::{RouteNet, RouteNetConfig};
 use crate::trainer::{EpochStats, RecoveryEvent, TrainConfig};
+use routenet_faults::{atomic_write_with, FaultFs, RealFs};
 use routenet_nn::optim::Adam;
 use routenet_nn::ParamStore;
 use serde::{Deserialize, Serialize};
-use std::fs::File;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Magic string opening every checkpoint header line.
@@ -132,41 +131,15 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Write `bytes` to `path` atomically: write a temporary sibling, fsync it,
 /// then rename over the destination. Readers never observe a torn file.
+///
+/// Delegates to the canonical protocol in `routenet-faults`
+/// ([`atomic_write_with`]), whose temp names carry the pid *and* a
+/// per-process atomic counter so concurrent writers to the same path never
+/// clobber each other's temp file. Use [`atomic_write_with`] directly to
+/// route the write through an injected seam.
 #[must_use = "an ignored write error means the checkpoint silently does not exist"]
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
-    let path = path.as_ref();
-    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("atomic_write target has no file name: {}", path.display()),
-        ));
-    };
-    // The temp file must live in the destination directory: rename(2) is
-    // only atomic within one filesystem.
-    let tmp = path.with_file_name(format!(".{name}.tmp.{}", std::process::id()));
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        // Flush file contents to stable storage before the rename publishes
-        // them; otherwise a crash could publish an empty file.
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        // Best effort: do not leave the temp file behind on failure.
-        // lint: allow(error-discard, reason = "cleanup on the failure path; the original error is what the caller must see")
-        let _ = std::fs::remove_file(&tmp);
-        return result;
-    }
-    // Best effort: fsync the directory so the rename itself survives a
-    // power loss. Not all platforms support opening directories; ignore.
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Ok(d) = File::open(dir) {
-            // lint: allow(error-discard, reason = "directory fsync is best-effort durability hardening; not all platforms support it")
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    atomic_write_with(&RealFs, path.as_ref(), bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +151,17 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
 /// followed by the raw payload bytes.
 #[must_use = "an ignored write error means the checkpoint silently does not exist"]
 pub fn write_checksummed(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), CheckpointError> {
+    write_checksummed_with(&RealFs, path.as_ref(), payload)
+}
+
+/// [`write_checksummed`] routed through an explicit IO seam, for fault
+/// injection and retry stacking.
+#[must_use = "an ignored write error means the checkpoint silently does not exist"]
+pub fn write_checksummed_with(
+    fs: &dyn FaultFs,
+    path: &Path,
+    payload: &[u8],
+) -> Result<(), CheckpointError> {
     let header = format!(
         "{MAGIC} v{FORMAT_VERSION} crc32={:08x} len={}\n",
         crc32(payload),
@@ -185,7 +169,7 @@ pub fn write_checksummed(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), C
     );
     let mut bytes = header.into_bytes();
     bytes.extend_from_slice(payload);
-    atomic_write(path, &bytes)?;
+    atomic_write_with(fs, path, &bytes)?;
     Ok(())
 }
 
@@ -193,7 +177,14 @@ pub fn write_checksummed(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), C
 /// and CRC32 before returning the payload.
 #[must_use = "dropping the result loses both the payload and any corruption diagnosis"]
 pub fn read_checksummed(path: impl AsRef<Path>) -> Result<Vec<u8>, CheckpointError> {
-    let bytes = std::fs::read(path)?;
+    read_checksummed_with(&RealFs, path.as_ref())
+}
+
+/// [`read_checksummed`] routed through an explicit IO seam, for fault
+/// injection (short reads, EIO) and retry stacking.
+#[must_use = "dropping the result loses both the payload and any corruption diagnosis"]
+pub fn read_checksummed_with(fs: &dyn FaultFs, path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = fs.read(path)?;
     let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
         return Err(CheckpointError::Format("missing header line".into()));
     };
@@ -347,15 +338,27 @@ impl TrainState {
     /// Atomically save to `path` inside a checksummed container.
     #[must_use = "an ignored save error means resume will restart from an older epoch"]
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.save_with(&RealFs, path.as_ref())
+    }
+
+    /// [`TrainState::save`] routed through an explicit IO seam.
+    #[must_use = "an ignored save error means resume will restart from an older epoch"]
+    pub fn save_with(&self, fs: &dyn FaultFs, path: &Path) -> Result<(), CheckpointError> {
         let json =
             serde_json::to_string(self).map_err(|e| CheckpointError::Parse(e.to_string()))?;
-        write_checksummed(path, json.as_bytes())
+        write_checksummed_with(fs, path, json.as_bytes())
     }
 
     /// Load a state saved by [`TrainState::save`], verifying the checksum.
     #[must_use = "dropping the result loses both the restored state and any corruption diagnosis"]
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let payload = read_checksummed(path)?;
+        Self::load_with(&RealFs, path.as_ref())
+    }
+
+    /// [`TrainState::load`] routed through an explicit IO seam.
+    #[must_use = "dropping the result loses both the restored state and any corruption diagnosis"]
+    pub fn load_with(fs: &dyn FaultFs, path: &Path) -> Result<Self, CheckpointError> {
+        let payload = read_checksummed_with(fs, path)?;
         let json = String::from_utf8(payload)
             .map_err(|e| CheckpointError::Parse(format!("payload is not UTF-8: {e}")))?;
         serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))

@@ -31,10 +31,12 @@ use crate::sample::Sample;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use routenet_faults::FsHandle;
 use routenet_nn::optim::{clip_global_norm, Adam};
 use routenet_nn::{GradAccumulator, Session, Tensor};
 use routenet_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -103,6 +105,13 @@ pub struct TrainConfig {
     /// equal, so resume compatibility never depends on it.
     #[serde(skip)]
     pub telemetry: Telemetry,
+    /// IO seam for checkpoint writes and resume reads. Wiring, not
+    /// configuration, exactly like `telemetry`: skipped by serde and always
+    /// compares equal. The default is the real filesystem with bounded
+    /// exponential-backoff retry of transient errors; chaos tests swap in a
+    /// fault-injecting handle.
+    #[serde(skip)]
+    pub fs: FsHandle,
 }
 
 impl Default for TrainConfig {
@@ -128,6 +137,7 @@ impl Default for TrainConfig {
             lr_backoff: 0.5,
             max_rollbacks: 3,
             telemetry: Telemetry::disabled(),
+            fs: FsHandle::default(),
         }
     }
 }
@@ -490,14 +500,20 @@ fn check_resume_compat(saved: &TrainConfig, cur: &TrainConfig) -> Result<(), Tra
     Ok(())
 }
 
-/// Persist `state` through the atomic checkpoint writer, timing the write
-/// and emitting an [`Event::CheckpointWrite`] record when telemetry is on.
-fn save_checkpoint(state: &TrainState, path: &str, tel: &Telemetry) -> Result<(), TrainError> {
+/// Persist `state` through the atomic checkpoint writer (routed through the
+/// config's IO seam), timing the write and emitting an
+/// [`Event::CheckpointWrite`] record when telemetry is on.
+fn save_checkpoint(
+    state: &TrainState,
+    path: &str,
+    fs: &FsHandle,
+    tel: &Telemetry,
+) -> Result<(), TrainError> {
     let t0 = tel.enabled().then(Instant::now);
-    state.save(path)?;
+    state.save_with(fs.fs(), Path::new(path))?;
     if let Some(t0) = t0 {
         let write_s = t0.elapsed().as_secs_f64();
-        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let bytes = fs.metadata_len(Path::new(path)).unwrap_or(0);
         tel.emit(Event::CheckpointWrite {
             epoch: state.epoch_next,
             bytes,
@@ -550,7 +566,7 @@ pub fn train_with_control(
     // for divergence recovery and the payload of every checkpoint write.
     let mut state: TrainState = match &cfg.resume_from {
         Some(path) => {
-            let st = TrainState::load(path)?;
+            let st = TrainState::load_with(cfg.fs.fs(), Path::new(path))?;
             if st.model_config != *model.config() {
                 return Err(TrainError::IncompatibleResume(
                     "checkpoint was trained with a different model architecture".into(),
@@ -699,7 +715,7 @@ pub fn train_with_control(
                 install_state(&state, model, &mut opt, &mut rng);
                 if let Some(path) = &cfg.checkpoint_path {
                     // lint: allow(hot-loop-lock, reason = "terminal divergence exit: one telemetry lock on the way out, not per-iteration work")
-                    save_checkpoint(&state, path, &cfg.telemetry)?;
+                    save_checkpoint(&state, path, &cfg.fs, &cfg.telemetry)?;
                 }
                 return Err(TrainError::Diverged {
                     epoch,
@@ -794,7 +810,7 @@ pub fn train_with_control(
         if let Some(path) = &cfg.checkpoint_path {
             if state.epoch_next.is_multiple_of(cfg.checkpoint_every) {
                 // lint: allow(hot-loop-lock, reason = "epoch-boundary checkpoint telemetry: one lock per checkpoint interval, not per-iteration work")
-                save_checkpoint(&state, path, &cfg.telemetry)?;
+                save_checkpoint(&state, path, &cfg.fs, &cfg.telemetry)?;
             }
         }
 
@@ -815,7 +831,7 @@ pub fn train_with_control(
     // A final checkpoint at run exit (normal completion, early stop, or
     // interruption) so the on-disk state always matches the returned run.
     if let Some(path) = &cfg.checkpoint_path {
-        save_checkpoint(&state, path, &cfg.telemetry)?;
+        save_checkpoint(&state, path, &cfg.fs, &cfg.telemetry)?;
     }
 
     let report = TrainReport {

@@ -83,6 +83,55 @@ fn trained_state(model_seed: u64, lr: f64, tag: &str) -> TrainState {
     state
 }
 
+/// A checkpoint cut off at *any* byte offset — the on-disk shape a crash
+/// mid-write would leave without the atomic-write protocol — must map to a
+/// typed [`CheckpointError`], never a panic and never a silently-loaded
+/// partial state. Exhaustive over every prefix length, which is why it uses
+/// a deliberately small trained state.
+#[test]
+fn truncation_at_every_byte_offset_is_a_typed_error_never_a_panic() {
+    let data = dataset(2, 0xA11CE);
+    let mut model = RouteNet::new(RouteNetConfig {
+        link_state_dim: 3,
+        path_state_dim: 3,
+        readout_hidden: 4,
+        t_iterations: 1,
+        predict_jitter: false,
+        predict_drops: false,
+        seed: 5,
+    });
+    let path = std::env::temp_dir().join(format!("rn-ckpt-trunc-{}.ckpt", std::process::id()));
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 1,
+        lr: 1e-3,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..TrainConfig::default()
+    };
+    train(&mut model, &data[..1], &data[1..], &cfg).expect("training failed");
+    let bytes = std::fs::read(&path).expect("read checkpoint");
+    assert!(bytes.len() > 64, "checkpoint suspiciously small");
+
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).expect("write truncated prefix");
+        match TrainState::load(&path) {
+            Ok(_) => panic!(
+                "prefix of {cut}/{} bytes loaded as a valid state",
+                bytes.len()
+            ),
+            Err(
+                CheckpointError::Io(_)
+                | CheckpointError::Format(_)
+                | CheckpointError::Truncated { .. }
+                | CheckpointError::ChecksumMismatch { .. }
+                | CheckpointError::Parse(_),
+            ) => {}
+            Err(other) => panic!("prefix of {cut} bytes: unexpected error class: {other}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

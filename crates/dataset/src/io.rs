@@ -1,15 +1,20 @@
 //! Dataset persistence: JSON-lines files (one sample per line).
 //!
-//! Writes go through [`routenet_core::checkpoint::atomic_write`] (temp
-//! sibling + fsync + rename), so an interrupted generation run can never
-//! leave a torn dataset file under the final name. Reads offer a strict
-//! mode (default: any bad line aborts the load) and a lenient mode that
-//! quarantines bad lines into a reported skip list — useful for salvaging
-//! datasets produced by older, non-atomic writers.
+//! Writes go through the canonical atomic writer in `routenet-faults`
+//! (temp sibling + fsync + rename), so an interrupted generation run can
+//! never leave a torn dataset file under the final name. Reads offer a
+//! strict mode (default: any bad line aborts the load) and a lenient mode
+//! that quarantines bad lines — both counted in the report *and* written
+//! verbatim to a `<path>.quarantine` sidecar for inspection — useful for
+//! salvaging datasets produced by older, non-atomic writers.
+//!
+//! Every function has a `_with` variant taking an explicit
+//! [`FaultFs`] seam, so the chaos suite can inject torn writes, short
+//! reads, and `ENOSPC` into dataset IO deterministically.
 
-use routenet_core::checkpoint::atomic_write;
 use routenet_core::sample::Sample;
-use std::path::Path;
+use routenet_faults::{atomic_write_with, FaultFs, RealFs};
+use std::path::{Path, PathBuf};
 
 /// Errors while reading or writing datasets.
 #[derive(Debug)]
@@ -72,6 +77,11 @@ pub struct LenientLoad {
     pub first_error: Option<IoError>,
     /// True if the final line was missing its newline (interrupted write).
     pub torn_tail: bool,
+    /// Sidecar file the quarantined raw lines were written to (atomic;
+    /// `<path>.quarantine`). `None` when nothing was quarantined or when
+    /// writing the sidecar itself failed (the failure is folded into
+    /// [`LenientLoad::first_error`]).
+    pub quarantine_path: Option<PathBuf>,
 }
 
 impl LenientLoad {
@@ -96,6 +106,12 @@ impl LenientLoad {
 /// writer: the file appears under `path` fully written or not at all.
 #[must_use = "an ignored save error means the dataset silently does not exist"]
 pub fn save_jsonl(path: impl AsRef<Path>, samples: &[Sample]) -> Result<(), IoError> {
+    save_jsonl_with(&RealFs, path.as_ref(), samples)
+}
+
+/// [`save_jsonl`] routed through an explicit IO seam.
+#[must_use = "an ignored save error means the dataset silently does not exist"]
+pub fn save_jsonl_with(fs: &dyn FaultFs, path: &Path, samples: &[Sample]) -> Result<(), IoError> {
     let mut buf = Vec::new();
     for s in samples {
         // lint: allow(panic, reason = "in-memory numeric data always serializes; f64 is emitted as a literal")
@@ -103,7 +119,7 @@ pub fn save_jsonl(path: impl AsRef<Path>, samples: &[Sample]) -> Result<(), IoEr
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
     }
-    atomic_write(path, &buf)?;
+    atomic_write_with(fs, path, &buf)?;
     Ok(())
 }
 
@@ -123,7 +139,13 @@ fn parse_line(line: &str, lineno: usize, index: usize) -> Result<Sample, IoError
 /// load with an error. Use [`load_jsonl_lenient`] to salvage instead.
 #[must_use = "dropping the result loses both the samples and any corruption diagnosis"]
 pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<Sample>, IoError> {
-    let content = std::fs::read_to_string(path)?;
+    load_jsonl_with(&RealFs, path.as_ref())
+}
+
+/// [`load_jsonl`] routed through an explicit IO seam.
+#[must_use = "dropping the result loses both the samples and any corruption diagnosis"]
+pub fn load_jsonl_with(fs: &dyn FaultFs, path: &Path) -> Result<Vec<Sample>, IoError> {
+    let content = fs.read_to_string(path)?;
     let torn = torn_tail_line(&content);
     let mut out = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
@@ -140,18 +162,36 @@ pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Vec<Sample>, IoError> {
 
 /// Load samples from JSONL, quarantining bad lines instead of aborting.
 /// Unparseable or invalid lines — and a torn (newline-less) final line —
-/// are counted in [`LenientLoad::skipped`] with the first error retained;
-/// every salvageable sample is returned. Filesystem errors still fail.
+/// are counted in [`LenientLoad::skipped`] with the first error retained
+/// *and* written verbatim to an atomic `<path>.quarantine` sidecar so bad
+/// data is inspectable, not just counted. Every salvageable sample is
+/// returned. Filesystem errors reading the dataset itself still fail.
 #[must_use = "dropping the result loses the salvaged samples and the skip report"]
 pub fn load_jsonl_lenient(path: impl AsRef<Path>) -> Result<LenientLoad, IoError> {
-    let content = std::fs::read_to_string(path)?;
+    load_jsonl_lenient_with(&RealFs, path.as_ref())
+}
+
+/// Sidecar path for quarantined lines: `<path>.quarantine`.
+pub fn quarantine_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+/// [`load_jsonl_lenient`] routed through an explicit IO seam (both the
+/// dataset read and the quarantine sidecar write go through `fs`).
+#[must_use = "dropping the result loses the salvaged samples and the skip report"]
+pub fn load_jsonl_lenient_with(fs: &dyn FaultFs, path: &Path) -> Result<LenientLoad, IoError> {
+    let content = fs.read_to_string(path)?;
     let torn = torn_tail_line(&content);
     let mut report = LenientLoad {
         samples: Vec::new(),
         skipped: 0,
         first_error: None,
         torn_tail: false,
+        quarantine_path: None,
     };
+    let mut quarantined: Vec<u8> = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
         if Some(lineno + 1) == torn {
             // An unterminated final line means the writer died mid-record;
@@ -161,6 +201,8 @@ pub fn load_jsonl_lenient(path: impl AsRef<Path>) -> Result<LenientLoad, IoError
             report
                 .first_error
                 .get_or_insert(IoError::TornTail { line: lineno + 1 });
+            quarantined.extend_from_slice(line.as_bytes());
+            quarantined.push(b'\n');
             break;
         }
         if line.trim().is_empty() {
@@ -171,6 +213,19 @@ pub fn load_jsonl_lenient(path: impl AsRef<Path>) -> Result<LenientLoad, IoError
             Err(e) => {
                 report.skipped += 1;
                 report.first_error.get_or_insert(e);
+                quarantined.extend_from_slice(line.as_bytes());
+                quarantined.push(b'\n');
+            }
+        }
+    }
+    if !quarantined.is_empty() {
+        let qpath = quarantine_path_for(path);
+        match atomic_write_with(fs, &qpath, &quarantined) {
+            Ok(()) => report.quarantine_path = Some(qpath),
+            // Salvage must not fail because the *report* could not be
+            // written; surface the failure through the report instead.
+            Err(e) => {
+                report.first_error.get_or_insert(IoError::Fs(e));
             }
         }
     }
@@ -312,6 +367,45 @@ mod tests {
             Some(IoError::Parse { line: 2, .. }) => {}
             other => panic!("expected parse error at line 2, got {other:?}"),
         }
+        // The bad line is inspectable in the sidecar, verbatim.
+        let qpath = report.quarantine_path.expect("sidecar written");
+        assert_eq!(qpath, quarantine_path_for(&path));
+        assert_eq!(std::fs::read_to_string(&qpath).unwrap(), "{corrupt}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_sidecar_collects_all_bad_lines_and_torn_tail() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-qside-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.jsonl");
+        let good = serde_json::to_string(&ds[0]).unwrap();
+        let frag = &good[..good.len() / 2];
+        // Two bad lines plus a torn tail fragment; all must land in the
+        // sidecar in file order.
+        let content = format!("{{bad1}}\n{good}\n{{bad2}}\n{frag}");
+        std::fs::write(&path, content).unwrap();
+        let report = load_jsonl_lenient(&path).unwrap();
+        assert_eq!(report.samples.len(), 1);
+        assert_eq!(report.skipped, 3);
+        assert!(report.torn_tail);
+        let qpath = report.quarantine_path.expect("sidecar written");
+        let sidecar = std::fs::read_to_string(&qpath).unwrap();
+        assert_eq!(sidecar, format!("{{bad1}}\n{{bad2}}\n{frag}\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_lenient_load_writes_no_sidecar() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join(format!("rn-io-noq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.jsonl");
+        save_jsonl(&path, &ds).unwrap();
+        let report = load_jsonl_lenient(&path).unwrap();
+        assert!(report.quarantine_path.is_none());
+        assert!(!quarantine_path_for(&path).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,18 +20,31 @@
 //! per epoch; the disabled path costs one branch per run. This keeps the
 //! `hot-loop-alloc` analyzer rule (RN103) green.
 //!
-//! **Durability**: the JSONL sink rewrites the full event log through an
-//! atomic temp-file + fsync + rename on every emitted event (events are
-//! epoch- or run-scale, so this is a handful of small writes per run).
-//! Readers never observe a torn line; the log only ever grows.
+//! **Durability**: the JSONL sink rewrites the full event log through the
+//! canonical atomic writer in `routenet-faults` (temp-file + fsync +
+//! rename) on every emitted event (events are epoch- or run-scale, so this
+//! is a handful of small writes per run). Readers never observe a torn
+//! line; the log only ever grows. Writes go through the injectable IO seam
+//! with transient-error retry by default; see [`Telemetry::to_file_with_fs`].
+//!
+//! **Graceful degradation**: the sink is a pure observer, so its failures
+//! must never take the run down. A failed write is counted and deferred to
+//! [`Telemetry::finish`]; after [`DEGRADE_THRESHOLD`] *consecutive*
+//! failures the sink stops touching the filesystem entirely and counts
+//! dropped events instead ([`Telemetry::dropped_events`]). Because each
+//! flush rewrites the full log, a later successful write — including the
+//! last-gasp flush in `finish()` — recovers every "dropped" event.
 
+use routenet_faults::{atomic_write_with, FsHandle};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Consecutive sink-write failures after which the file sink degrades to
+/// dropping events (counted, recoverable by a later full-log flush).
+pub const DEGRADE_THRESHOLD: u64 = 3;
 
 // ---------------------------------------------------------------------------
 // Events
@@ -314,6 +327,18 @@ struct State {
     histograms: BTreeMap<String, Histogram>,
     write_errors: u64,
     last_error: Option<String>,
+    /// Current streak of failed sink writes (reset by any success).
+    consecutive_failures: u64,
+    /// Events not written to the sink after degradation kicked in.
+    dropped_events: u64,
+}
+
+impl State {
+    /// Degraded: the failure streak reached [`DEGRADE_THRESHOLD`], so sink
+    /// writes are skipped and events are counted as dropped instead.
+    fn degraded(&self) -> bool {
+        self.consecutive_failures >= DEGRADE_THRESHOLD
+    }
 }
 
 #[derive(Debug)]
@@ -322,6 +347,7 @@ struct Inner {
     run: String,
     start: Instant,
     sink: Sink,
+    fs: FsHandle,
     state: Mutex<State>,
 }
 
@@ -374,23 +400,32 @@ impl Telemetry {
 
     /// An enabled handle that keeps records in memory (tests, probes).
     pub fn in_memory(bin: &str, run: &str) -> Self {
-        Telemetry::with_sink(bin, run, Sink::Memory)
+        Telemetry::with_sink(bin, run, Sink::Memory, FsHandle::real())
     }
 
     /// An enabled handle that atomically rewrites the JSONL log at `path`
     /// on every emitted event. Emits [`Event::RunStart`] immediately, so a
-    /// crashed run still leaves a parseable marker on disk.
+    /// crashed run still leaves a parseable marker on disk. Writes go
+    /// through the default IO seam (real filesystem with transient-error
+    /// retry).
     pub fn to_file(bin: &str, run: &str, path: impl AsRef<Path>) -> Self {
-        Telemetry::with_sink(bin, run, Sink::File(path.as_ref().to_path_buf()))
+        Telemetry::to_file_with_fs(bin, run, path, FsHandle::default())
     }
 
-    fn with_sink(bin: &str, run: &str, sink: Sink) -> Self {
+    /// [`Telemetry::to_file`] with an explicit IO seam, so chaos tests can
+    /// inject sink faults and assert the observer property.
+    pub fn to_file_with_fs(bin: &str, run: &str, path: impl AsRef<Path>, fs: FsHandle) -> Self {
+        Telemetry::with_sink(bin, run, Sink::File(path.as_ref().to_path_buf()), fs)
+    }
+
+    fn with_sink(bin: &str, run: &str, sink: Sink, fs: FsHandle) -> Self {
         let tel = Telemetry {
             inner: Some(Arc::new(Inner {
                 bin: bin.to_string(),
                 run: run.to_string(),
                 start: Instant::now(),
                 sink,
+                fs,
                 state: Mutex::new(State::default()),
             })),
         };
@@ -419,11 +454,20 @@ impl Telemetry {
         st.seq += 1;
         st.records.push(rec);
         if let Sink::File(path) = &inner.sink {
-            if let Err(e) = flush_jsonl(path, &st.records) {
+            if st.degraded() {
+                // The sink earned a time-out: stop touching the filesystem
+                // and count the event as dropped. Recoverable — any later
+                // successful full-log flush (e.g. in `finish()`) rewrites
+                // every record, including these.
+                st.dropped_events += 1;
+            } else if let Err(e) = flush_jsonl(&inner.fs, path, &st.records) {
                 // Telemetry failures must not fail the run; they surface
                 // through `finish()` and the write-error counter instead.
                 st.write_errors += 1;
+                st.consecutive_failures += 1;
                 st.last_error = Some(e.to_string());
+            } else {
+                st.consecutive_failures = 0;
             }
         }
     }
@@ -508,6 +552,16 @@ impl Telemetry {
         }
     }
 
+    /// Number of events not written to the sink because the handle
+    /// degraded after [`DEGRADE_THRESHOLD`] consecutive write failures.
+    /// (They remain in memory and in any later successful full-log flush.)
+    pub fn dropped_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => lock(&inner.state).dropped_events,
+            None => 0,
+        }
+    }
+
     /// Human-readable end-of-run summary of the registry and event counts.
     /// Empty string when disabled.
     pub fn summary_table(&self) -> String {
@@ -554,9 +608,14 @@ impl Telemetry {
         out
     }
 
-    /// Emit [`Event::RunEnd`], flush, and report any deferred sink failure.
-    /// Callers that can print (binaries) should surface the error; library
-    /// code may route it into its own error type.
+    /// Emit [`Event::RunEnd`], flush, and report any deferred sink failure
+    /// (including how many events were dropped after degradation). Callers
+    /// that can print (binaries) should surface the error; library code may
+    /// route it into its own error type.
+    ///
+    /// A degraded file sink gets one last-gasp flush here: because each
+    /// flush rewrites the full log, a success at this point recovers every
+    /// dropped event on disk (the drop count is still reported).
     #[must_use = "the returned Result carries deferred telemetry write failures"]
     pub fn finish(&self) -> std::io::Result<()> {
         let Some(inner) = &self.inner else {
@@ -565,11 +624,26 @@ impl Telemetry {
         self.emit(Event::RunEnd {
             wall_s: inner.start.elapsed().as_secs_f64(),
         });
-        let st = lock(&inner.state);
+        let mut st = lock(&inner.state);
+        let mut recovered = false;
+        if st.degraded() {
+            if let Sink::File(path) = &inner.sink {
+                recovered = flush_jsonl(&inner.fs, path, &st.records).is_ok();
+            }
+        }
+        if recovered {
+            st.consecutive_failures = 0;
+        }
         match &st.last_error {
             Some(msg) => Err(std::io::Error::other(format!(
-                "{} telemetry write(s) failed; last error: {msg}",
-                st.write_errors
+                "{} telemetry write(s) failed, {} event(s) dropped after degradation{}; last error: {msg}",
+                st.write_errors,
+                st.dropped_events,
+                if recovered {
+                    " (final flush succeeded; log on disk is complete)"
+                } else {
+                    ""
+                },
             ))),
             None => Ok(()),
         }
@@ -596,45 +670,18 @@ impl Drop for Span {
 // JSONL sink plumbing
 // ---------------------------------------------------------------------------
 
-fn flush_jsonl(path: &Path, records: &[Record]) -> std::io::Result<()> {
+/// Serialize the full record list and rewrite the log atomically through
+/// the handle's IO seam. (The former local `atomic_write` copy is gone:
+/// `routenet_faults::atomic_write_with` is the single implementation, with
+/// collision-free temp names shared by checkpoints and this sink.)
+fn flush_jsonl(fs: &FsHandle, path: &Path, records: &[Record]) -> std::io::Result<()> {
     let mut buf = String::new();
     for r in records {
         let line = serde_json::to_string(r).map_err(std::io::Error::other)?;
         buf.push_str(&line);
         buf.push('\n');
     }
-    atomic_write(path, buf.as_bytes())
-}
-
-/// Atomic file write: temp sibling + fsync + rename, same discipline as
-/// `routenet_core::checkpoint::atomic_write` (duplicated here because the
-/// dependency points the other way: core embeds a [`Telemetry`] handle).
-fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("telemetry target has no file name: {}", path.display()),
-        ));
-    };
-    let tmp = path.with_file_name(format!(".{name}.tmp.{}", std::process::id()));
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        // lint: allow(error-discard, reason = "cleanup on the failure path; the original error is what the caller must see")
-        let _ = std::fs::remove_file(&tmp);
-        return result;
-    }
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Ok(d) = File::open(dir) {
-            // lint: allow(error-discard, reason = "directory fsync is best-effort durability hardening; not all platforms support it")
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    atomic_write_with(fs.fs(), path, buf.as_bytes())
 }
 
 #[cfg(test)]
@@ -717,5 +764,118 @@ mod tests {
     #[test]
     fn telemetry_compares_equal_regardless_of_wiring() {
         assert_eq!(Telemetry::disabled(), Telemetry::in_memory("a", "b"));
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl_through_seam() {
+        let dir = std::env::temp_dir().join(format!("rn-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.telemetry.jsonl");
+        let tel = Telemetry::to_file("test", "r", &path);
+        tel.emit(Event::RunEnd { wall_s: 0.1 });
+        assert_eq!(tel.write_errors(), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("RunStart") && lines[1].contains("RunEnd"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_degrades_after_consecutive_failures_and_counts_drops() {
+        use routenet_faults::{FaultKind, FaultPlan, FaultRule, OpKind};
+        let dir = std::env::temp_dir().join(format!("rn-obs-degrade-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.telemetry.jsonl");
+        // Every create fails with EIO: the sink can never write.
+        let plan = FaultPlan::new().rule(FaultRule::every(1, FaultKind::Eio).on_op(OpKind::Create));
+        let (fs, _plan) = FsHandle::faulty(plan);
+        let tel = Telemetry::to_file_with_fs("test", "r", &path, fs);
+        // RunStart already burned one failure; push past the threshold.
+        for i in 0..5 {
+            tel.emit(Event::Eval {
+                scope: format!("s{i}"),
+                n: 1,
+                mae: 0.0,
+                median_re: 0.0,
+                p95_re: 0.0,
+                pearson_r: 1.0,
+            });
+        }
+        assert_eq!(tel.write_errors(), DEGRADE_THRESHOLD);
+        // 6 events total, 3 failed writes, the rest dropped.
+        assert_eq!(tel.dropped_events(), 6 - DEGRADE_THRESHOLD);
+        // All events are still in memory: the registry is unaffected.
+        assert_eq!(tel.records().len(), 6);
+        let err = tel.finish().expect_err("deferred failure must surface");
+        let msg = err.to_string();
+        assert!(msg.contains("3 telemetry write(s) failed"), "{msg}");
+        assert!(msg.contains("4 event(s) dropped"), "{msg}");
+        assert!(!path.exists(), "no partial log may appear");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_failure_streak_resets_on_success() {
+        use routenet_faults::{FaultKind, FaultPlan, FaultRule, OpKind};
+        let dir = std::env::temp_dir().join(format!("rn-obs-streak-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.telemetry.jsonl");
+        // Fail writes 2 and 3 only: a success in between any longer streak
+        // must keep the sink out of degradation.
+        let plan = FaultPlan::new()
+            .rule(FaultRule::nth(2, FaultKind::Eio).on_op(OpKind::Create))
+            .rule(FaultRule::nth(3, FaultKind::Eio).on_op(OpKind::Create));
+        let (fs, _plan) = FsHandle::faulty(plan);
+        let tel = Telemetry::to_file_with_fs("test", "r", &path, fs);
+        for _ in 0..5 {
+            tel.emit(Event::RunEnd { wall_s: 0.0 });
+        }
+        assert_eq!(tel.write_errors(), 2);
+        assert_eq!(tel.dropped_events(), 0, "streak of 2 must not degrade");
+        // The last successful flush rewrote the full log: nothing lost.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_sink_recovers_in_final_flush() {
+        use routenet_faults::{FaultKind, FaultPlan, FaultRule, OpKind, Trigger};
+        let dir = std::env::temp_dir().join(format!("rn-obs-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.telemetry.jsonl");
+        // Exactly three failures (the threshold), then the disk heals.
+        let plan = FaultPlan::new()
+            .rule(FaultRule {
+                op: Some(OpKind::Create),
+                path_contains: None,
+                trigger: Trigger::Nth(1),
+                kind: FaultKind::Eio,
+            })
+            .rule(FaultRule {
+                op: Some(OpKind::Create),
+                path_contains: None,
+                trigger: Trigger::Nth(2),
+                kind: FaultKind::Eio,
+            })
+            .rule(FaultRule {
+                op: Some(OpKind::Create),
+                path_contains: None,
+                trigger: Trigger::Nth(3),
+                kind: FaultKind::Eio,
+            });
+        let (fs, _plan) = FsHandle::faulty(plan);
+        let tel = Telemetry::to_file_with_fs("test", "r", &path, fs);
+        tel.emit(Event::RunEnd { wall_s: 0.0 }); // failure 2
+        tel.emit(Event::RunEnd { wall_s: 0.0 }); // failure 3 -> degraded
+        tel.emit(Event::RunEnd { wall_s: 0.0 }); // dropped
+        assert_eq!(tel.dropped_events(), 1);
+        let err = tel.finish().expect_err("failures still surface");
+        assert!(err.to_string().contains("final flush succeeded"), "{err}");
+        // The last-gasp flush recovered the complete log, drops included.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

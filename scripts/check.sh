@@ -67,6 +67,15 @@ cargo test --workspace -q
 step "resume-determinism smoke test"
 cargo test -q --test resume_determinism
 
+# Chaos smoke test: replay the pinned fault-schedule corpus through the IO
+# seam (see DESIGN.md "Fault model & injection"). Under every schedule the
+# run must complete or fail with a typed error plus a loadable checkpoint,
+# transient faults must be absorbed by retry, and telemetry faults must
+# leave training byte-identical. The analyzer gate above already enforces
+# the seam boundary itself (RN301 io-seam, deny by default).
+step "chaos smoke test (fault-injection corpus)"
+cargo test -q --test chaos
+
 # Telemetry smoke test: a tiny end-to-end training run and a single
 # simulation must each leave a parseable, gapless telemetry JSONL with the
 # expected event kinds (see DESIGN.md "Observability"). validate-telemetry
