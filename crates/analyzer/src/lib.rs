@@ -37,7 +37,9 @@ pub const HOT_PATHS: &[&str] = &[
 pub const ALLOC_HOT_PATHS: &[&str] = &[
     "crates/nn/src/tape.rs",
     "crates/nn/src/tensor.rs",
+    "crates/nn/src/plan.rs",
     "crates/core/src/trainer.rs",
+    "crates/core/src/batch.rs",
     "crates/simnet/src/sim.rs",
 ];
 
@@ -45,6 +47,7 @@ pub const ALLOC_HOT_PATHS: &[&str] = &[
 /// nondeterministic hash iteration there breaks run-to-run reproducibility.
 const DETERMINISM_CRATES: &[&str] = &[
     "crates/netgraph/",
+    "crates/nn/",
     "crates/simnet/",
     "crates/dataset/",
     "crates/core/",
@@ -549,10 +552,15 @@ mod tests {
         // Determinism: label/feature/training-order crates only.
         assert!(rules_for("crates/netgraph/src/routing.rs").determinism);
         assert!(rules_for("crates/dataset/src/gen.rs").determinism);
-        assert!(!rules_for("crates/nn/src/tensor.rs").determinism);
+        // nn is determinism-scoped: segment/index-plan iteration order feeds
+        // gradient accumulation order, which feeds the training curve.
+        assert!(rules_for("crates/nn/src/tensor.rs").determinism);
+        assert!(!rules_for("crates/bench/src/bin/fig2.rs").determinism);
         // Hot-loop allocation: the kernel files only.
         assert!(rules_for("crates/nn/src/tensor.rs").hot_loop_alloc);
+        assert!(rules_for("crates/nn/src/plan.rs").hot_loop_alloc);
         assert!(rules_for("crates/core/src/trainer.rs").hot_loop_alloc);
+        assert!(rules_for("crates/core/src/batch.rs").hot_loop_alloc);
         assert!(!rules_for("crates/core/src/model.rs").hot_loop_alloc);
         // must_use: core/dataset library code, never binaries.
         assert!(rules_for("crates/core/src/checkpoint.rs").must_use);

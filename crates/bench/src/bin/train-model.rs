@@ -19,7 +19,8 @@ fn main() {
     let Some(train_path) = args.get("train") else {
         eprintln!(
             "usage: train-model --train <jsonl> [--val <jsonl>] --out <model.json> \
-             [--lenient] [--checkpoint <ckpt>] [--resume-from <ckpt>] [--no-telemetry]"
+             [--lenient] [--checkpoint <ckpt>] [--resume-from <ckpt>] [--no-telemetry] \
+             [--threads <n>] [--sequential]"
         );
         std::process::exit(2);
     };
@@ -89,6 +90,11 @@ fn main() {
         epochs: args.get_or("epochs", 30usize),
         batch_size: args.get_or("batch", 8usize),
         lr: args.get_or("lr", 2e-3f64),
+        threads: args.get_or("threads", 0usize),
+        // `--sequential` forces the per-sample execution path; the result is
+        // bit-identical to the default batched kernel, just slower — kept as
+        // a flag so CI can byte-diff the two (scripts/check.sh).
+        batched: args.get("sequential").is_none(),
         verbose: true,
         checkpoint_path: args.get("checkpoint").map(str::to_string),
         checkpoint_every: args.get_or("checkpoint-every", 1usize),

@@ -86,51 +86,79 @@ impl PairedEval {
     }
 }
 
-/// Run `predictor` over `samples`, pairing predictions with ground truth.
+/// Pair one sample's predictions with its ground truth, appending to `out`.
 ///
 /// Pairs whose ground-truth delay is zero are skipped: a zero mean delay is
 /// the dataset generator's sentinel for "no packet of this flow was observed
 /// in the measurement window", i.e. there is no label to compare against.
-pub fn collect_predictions(predictor: &dyn KpiPredictor, samples: &[Sample]) -> PairedEval {
-    let mut out = PairedEval::default();
-    for s in samples {
-        let preds = predictor.predict(&s.scenario);
-        assert_eq!(
-            preds.len(),
-            s.targets.len(),
-            "{} returned {} predictions for {} targets",
-            predictor.predictor_name(),
-            preds.len(),
-            s.targets.len()
-        );
-        for (p, t) in preds.iter().zip(&s.targets) {
-            if t.delay_s <= 0.0 {
-                continue; // unobserved flow: no ground truth
-            }
-            out.delay_pred.push(p.delay_s);
-            out.delay_true.push(t.delay_s);
-            out.jitter_pred.push(p.jitter_s2);
-            out.jitter_true.push(t.jitter_s2);
-            out.drop_pred.push(p.drop_prob);
-            out.drop_true.push(t.drop_prob);
+fn pair_into(
+    out: &mut PairedEval,
+    predictor_name: &str,
+    sample: &Sample,
+    preds: &[crate::sample::Prediction],
+) {
+    assert_eq!(
+        preds.len(),
+        sample.targets.len(),
+        "{} returned {} predictions for {} targets",
+        predictor_name,
+        preds.len(),
+        sample.targets.len()
+    );
+    for (p, t) in preds.iter().zip(&sample.targets) {
+        if t.delay_s <= 0.0 {
+            continue; // unobserved flow: no ground truth
         }
+        out.delay_pred.push(p.delay_s);
+        out.delay_true.push(t.delay_s);
+        out.jitter_pred.push(p.jitter_s2);
+        out.jitter_true.push(t.jitter_s2);
+        out.drop_pred.push(p.drop_prob);
+        out.drop_true.push(t.drop_prob);
+    }
+}
+
+/// Run `predictor` over `samples`, pairing predictions with ground truth.
+///
+/// The whole set goes through [`KpiPredictor::predict_batch`] as one sweep,
+/// so predictors with per-sweep setup cost (RouteNet's compiled indices and
+/// allocation arena) pay it once rather than per sample. Skips unobserved
+/// pairs — see the sentinel note on [`collect_by_topology`].
+pub fn collect_predictions(predictor: &dyn KpiPredictor, samples: &[Sample]) -> PairedEval {
+    let scenarios: Vec<&crate::sample::Scenario> = samples.iter().map(|s| &s.scenario).collect();
+    let all = predictor.predict_batch(&scenarios);
+    let mut out = PairedEval::default();
+    for (s, preds) in samples.iter().zip(&all) {
+        pair_into(&mut out, predictor.predictor_name(), s, preds);
     }
     out
 }
 
 /// Collect predictions grouped by the samples' topology name — the grouping
 /// of the paper's Fig. 3 (one CDF per topology).
+///
+/// Samples are grouped *before* prediction and each group runs as one
+/// [`KpiPredictor::predict_batch`] sweep: all of a topology's samples share
+/// a routing, so a sweep-aware predictor compiles the message-passing index
+/// once per group instead of once per sample.
 pub fn collect_by_topology(
     predictor: &dyn KpiPredictor,
     samples: &[Sample],
 ) -> BTreeMap<String, PairedEval> {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, s) in samples.iter().enumerate() {
+        by_name.entry(&s.topology).or_default().push(i);
+    }
     let mut groups: BTreeMap<String, PairedEval> = BTreeMap::new();
-    for s in samples {
-        let single = collect_predictions(predictor, std::slice::from_ref(s));
-        groups
-            .entry(s.topology.clone())
-            .or_default()
-            .extend(&single);
+    for (name, idxs) in by_name {
+        let scenarios: Vec<&crate::sample::Scenario> =
+            idxs.iter().map(|&i| &samples[i].scenario).collect();
+        let all = predictor.predict_batch(&scenarios);
+        let mut ev = PairedEval::default();
+        for (&i, preds) in idxs.iter().zip(&all) {
+            pair_into(&mut ev, predictor.predictor_name(), &samples[i], preds);
+        }
+        groups.insert(name.to_string(), ev);
     }
     groups
 }
@@ -324,6 +352,41 @@ mod tests {
             .map(|t| t.delay_s)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((top[0].3 - max_true).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_sweep_matches_per_sample_predictions() {
+        use crate::model::{RouteNet, RouteNetConfig};
+        // RouteNet's sweep-aware predict_batch (arena-reused tape, cached
+        // message-passing index) must reproduce per-sample predict exactly.
+        let mut model = RouteNet::new(RouteNetConfig {
+            link_state_dim: 4,
+            path_state_dim: 4,
+            readout_hidden: 8,
+            t_iterations: 2,
+            predict_jitter: true,
+            predict_drops: false,
+            seed: 2,
+        });
+        model.set_normalizer(crate::features::Normalizer {
+            capacity_scale: 10_000.0,
+            traffic_scale: 230.0,
+            ..crate::features::Normalizer::default()
+        });
+        let samples = vec![
+            sample_with_topology("A", 1),
+            sample_with_topology("A", 2),
+            sample_with_topology("B", 3),
+        ];
+        let batched = collect_predictions(&model, &samples);
+        let mut per_sample = PairedEval::default();
+        for s in &samples {
+            let preds = model.predict(&s.scenario);
+            pair_into(&mut per_sample, model.predictor_name(), s, &preds);
+        }
+        assert_eq!(batched.delay_pred, per_sample.delay_pred);
+        assert_eq!(batched.jitter_pred, per_sample.jitter_pred);
+        assert_eq!(batched.len(), per_sample.len());
     }
 
     #[test]

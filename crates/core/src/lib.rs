@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod checkpoint;
 pub mod eval;
 pub mod features;
@@ -45,6 +46,7 @@ pub mod trainer;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baseline::{FnnBaseline, FnnConfig, Mg1Baseline, Mm1Baseline, Mm1kBaseline};
+    pub use crate::batch::{BatchPosition, BatchedScenario};
     pub use crate::checkpoint::{atomic_write, CheckpointError, TrainState};
     pub use crate::eval::{
         collect_by_topology, collect_predictions, emit_eval_telemetry, top_n_paths_by_delay,
@@ -60,6 +62,7 @@ pub mod prelude {
     };
 }
 
+pub use batch::{BatchPosition, BatchedScenario};
 pub use model::{RouteNet, RouteNetConfig};
 pub use sample::{KpiPredictor, Prediction, Sample, Scenario, TargetKpi};
 pub use trainer::{train, train_with_control, TrainConfig, TrainControl, TrainError, TrainReport};

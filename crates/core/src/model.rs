@@ -18,11 +18,13 @@
 //! step over the whole batch → scatter messages into link inboxes) makes the
 //! tape length `O(T · max_path_len)` rather than `O(T · Σ|p|)`.
 
+use crate::batch::BatchedScenario;
 use crate::features::Normalizer;
 use crate::indexing::PathTensors;
 use crate::sample::{KpiPredictor, Prediction, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use routenet_netgraph::RoutingScheme;
 use routenet_nn::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -69,11 +71,11 @@ impl Default for RouteNetConfig {
 pub struct CompiledScenario {
     /// Gather/scatter index.
     pub tensors: PathTensors,
-    link_x: Tensor,
-    path_x: Tensor,
+    pub(crate) link_x: Tensor,
+    pub(crate) path_x: Tensor,
     /// `keep_masks[k]`: `n_paths x path_dim` 0/1 tensor, 0 where the path is
     /// active at position k (its row is replaced by the GRU output).
-    keep_masks: Vec<Tensor>,
+    pub(crate) keep_masks: Vec<Tensor>,
 }
 
 /// The RouteNet GNN with its parameters and fitted normalizer.
@@ -236,7 +238,19 @@ impl RouteNet {
     /// Pre-compile a scenario: build the message-passing index, initial
     /// feature tensors, and position masks. Reused across epochs.
     pub fn compile(&self, scenario: &Scenario) -> CompiledScenario {
-        let tensors = PathTensors::build(scenario);
+        self.compile_with_index(scenario, PathTensors::build(scenario))
+    }
+
+    /// [`RouteNet::compile`] with a pre-built message-passing index. The
+    /// index depends only on the routing, so eval sweeps over many traffic
+    /// matrices on one topology build it once and clone it per sample —
+    /// the structural walk over every path is the expensive half of
+    /// compilation; the feature tensors are per-sample by necessity.
+    pub fn compile_with_index(
+        &self,
+        scenario: &Scenario,
+        tensors: PathTensors,
+    ) -> CompiledScenario {
         let lf = self.norm.link_features(scenario);
         let pf = self.norm.path_features(scenario);
         // Embed features into the first columns of the initial states.
@@ -279,8 +293,10 @@ impl RouteNet {
     /// Returns the `n_paths x out_dim` normalized prediction variable.
     pub fn forward(&self, sess: &mut Session, compiled: &CompiledScenario) -> Var {
         let idx = &compiled.tensors;
-        let mut link_state = sess.input(compiled.link_x.clone());
-        let mut path_state = sess.input(compiled.path_x.clone());
+        // Copy-in leaves keep the tape's buffer pool balanced when the
+        // session is arena-reused across passes (same values either way).
+        let mut link_state = sess.input_copied(&compiled.link_x);
+        let mut path_state = sess.input_copied(&compiled.path_x);
 
         for _ in 0..self.config.t_iterations {
             // Path update: walk hop positions, batching all active paths.
@@ -315,6 +331,50 @@ impl RouteNet {
         self.readout.forward(sess, path_state)
     }
 
+    /// Build the forward graph for a packed minibatch on `sess`'s tape.
+    /// Returns the `total_paths x out_dim` normalized prediction variable,
+    /// sample row blocks in pack order.
+    ///
+    /// This replays exactly the op sequence of [`RouteNet::forward`] over
+    /// the concatenated rows; every op whose reduction crosses sample
+    /// boundaries while touching a parameter uses its segment-aware variant,
+    /// which iterates segments in sample order. Per-sample output rows and
+    /// the per-segment parameter gradients recovered via
+    /// [`Session::param_grads_seg`] are therefore bitwise identical to
+    /// running each sample through [`RouteNet::forward`] on its own tape.
+    pub fn forward_batch(&self, sess: &mut Session, batch: &BatchedScenario) -> Var {
+        let mut link_state = sess.input_copied(batch.link_x());
+        let mut path_state = sess.input_copied(batch.path_x());
+
+        for _ in 0..self.config.t_iterations {
+            let mut link_inbox: Option<Var> = None;
+            for k in 0..batch.max_len {
+                let pos = batch.position(k);
+                let x = sess.tape.gather_rows_plan(link_state, &pos.link_idx);
+                let h = sess.tape.gather_rows_plan(path_state, &pos.path_idx);
+                let h_new = self.path_cell.step_seg(sess, x, h, &pos.seg);
+                let kept = sess.tape.mul_const_shared(path_state, batch.keep_mask(k));
+                let scattered =
+                    sess.tape
+                        .scatter_add_rows_plan(h_new, &pos.path_idx, batch.n_paths);
+                path_state = sess.tape.add(kept, scattered);
+                let msg = sess
+                    .tape
+                    .scatter_add_rows_plan(h_new, &pos.link_idx, batch.n_links);
+                link_inbox = Some(match link_inbox {
+                    Some(acc) => sess.tape.add(acc, msg),
+                    None => msg,
+                });
+            }
+            if let Some(inbox) = link_inbox {
+                link_state = self
+                    .link_cell
+                    .step_seg(sess, inbox, link_state, batch.link_seg());
+            }
+        }
+        self.readout.forward_seg(sess, path_state, batch.path_seg())
+    }
+
     /// Predict denormalized KPIs for a raw scenario.
     pub fn predict_scenario(&self, scenario: &Scenario) -> Vec<Prediction> {
         let compiled = self.compile(scenario);
@@ -323,9 +383,26 @@ impl RouteNet {
 
     /// Predict denormalized KPIs for a pre-compiled scenario.
     pub fn predict_compiled(&self, compiled: &CompiledScenario) -> Vec<Prediction> {
-        let mut sess = Session::new(&self.store);
+        self.predict_compiled_reuse(compiled, Tape::new()).0
+    }
+
+    /// [`RouteNet::predict_compiled`] threading an arena-backed tape through
+    /// the call: the tape is reset (recycling its value buffers) before the
+    /// forward pass and returned afterwards, so an eval sweep reuses one
+    /// allocation arena instead of building a fresh tape per sample.
+    pub fn predict_compiled_reuse(
+        &self,
+        compiled: &CompiledScenario,
+        arena: Tape,
+    ) -> (Vec<Prediction>, Tape) {
+        let mut sess = Session::with_tape(&self.store, arena);
         let out = self.forward(&mut sess, compiled);
-        let v = sess.tape.value(out);
+        let preds = self.extract_predictions(sess.tape.value(out));
+        (preds, sess.into_tape())
+    }
+
+    /// Denormalize a `rows x out_dim` prediction tensor into KPI structs.
+    fn extract_predictions(&self, v: &Tensor) -> Vec<Prediction> {
         (0..v.rows())
             .map(|r| {
                 let dz = v.get(r, 0);
@@ -384,6 +461,31 @@ impl KpiPredictor for RouteNet {
 
     fn predict(&self, scenario: &Scenario) -> Vec<Prediction> {
         self.predict_scenario(scenario)
+    }
+
+    /// Sweep-aware override: one arena-backed tape is threaded through the
+    /// whole sweep (zero steady-state tape allocation), and the structural
+    /// message-passing index is rebuilt only when the routing changes
+    /// between consecutive scenarios — eval sets are usually many traffic
+    /// matrices over a handful of topologies, so grouping by topology
+    /// upstream turns recompilation into a per-group cost.
+    fn predict_batch(&self, scenarios: &[&Scenario]) -> Vec<Vec<Prediction>> {
+        let mut arena = Tape::new();
+        let mut cached: Option<(&RoutingScheme, PathTensors)> = None;
+        let mut out = Vec::with_capacity(scenarios.len());
+        for sc in scenarios {
+            let hit = matches!(&cached, Some((r, _)) if *r == &sc.routing);
+            if !hit {
+                cached = Some((&sc.routing, PathTensors::build(sc)));
+            }
+            // lint: allow(panic, reason = "cached is installed on miss just above")
+            let index = &cached.as_ref().expect("index cached").1;
+            let compiled = self.compile_with_index(sc, index.clone());
+            let (preds, returned) = self.predict_compiled_reuse(&compiled, arena);
+            arena = returned;
+            out.push(preds);
+        }
+        out
     }
 }
 

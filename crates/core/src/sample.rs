@@ -135,6 +135,14 @@ pub trait KpiPredictor {
 
     /// Predict KPIs for every ordered pair of `scenario`.
     fn predict(&self, scenario: &Scenario) -> Vec<Prediction>;
+
+    /// Predict over a whole sweep of scenarios, one prediction vector per
+    /// scenario in input order. The default maps [`KpiPredictor::predict`];
+    /// predictors with per-sweep setup cost (compiled indices, allocation
+    /// arenas) override it to amortize that cost across the sweep.
+    fn predict_batch(&self, scenarios: &[&Scenario]) -> Vec<Vec<Prediction>> {
+        scenarios.iter().map(|s| self.predict(s)).collect()
+    }
 }
 
 #[cfg(test)]

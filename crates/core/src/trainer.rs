@@ -24,6 +24,7 @@
 //!   (e.g. from a Ctrl-C handler) converts interruption into "checkpoint
 //!   the last epoch boundary and return cleanly" instead of data loss.
 
+use crate::batch::BatchedScenario;
 use crate::checkpoint::{CheckpointError, TrainState};
 use crate::features::Normalizer;
 use crate::model::{CompiledScenario, RouteNet};
@@ -33,7 +34,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use routenet_faults::FsHandle;
 use routenet_nn::optim::{clip_global_norm, Adam};
-use routenet_nn::{GradAccumulator, Session, Tensor};
+use routenet_nn::{GradAccumulator, Session, Tape, Tensor};
 use routenet_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -72,6 +73,16 @@ pub struct TrainConfig {
     /// order, so results are bit-identical for any thread count).
     /// 0 = use all available cores; 1 = sequential.
     pub threads: usize,
+    /// Pack each worker's share of a minibatch into one
+    /// [`BatchedScenario`] and run a single forward/backward over the
+    /// packed tape (true, the default) instead of one tape per sample
+    /// (false). A pure execution-strategy knob: per-sample losses and
+    /// gradients recovered from the packed tape are bitwise identical to
+    /// the per-sample path, so the numeric trajectory — and resumability
+    /// of old checkpoints — is unaffected. Like `threads`, it may differ
+    /// between a checkpoint and the resuming run.
+    #[serde(default = "default_batched")]
+    pub batched: bool,
     /// Minibatch shuffling seed.
     pub shuffle_seed: u64,
     /// Restore the parameters of the best validation epoch at the end.
@@ -114,6 +125,13 @@ pub struct TrainConfig {
     pub fs: FsHandle,
 }
 
+/// Serde default for [`TrainConfig::batched`]: checkpoints written before
+/// the field existed resume onto the batched path (safe because both paths
+/// are bit-identical).
+fn default_batched() -> bool {
+    true
+}
+
 impl Default for TrainConfig {
     fn default() -> Self {
         TrainConfig {
@@ -127,6 +145,7 @@ impl Default for TrainConfig {
             log_targets: true,
             patience: None,
             threads: 0,
+            batched: default_batched(),
             shuffle_seed: 7,
             keep_best: true,
             verbose: false,
@@ -390,14 +409,7 @@ fn batch_losses(
     chunk: &[usize],
     threads: usize,
 ) -> Vec<(f64, Vec<(routenet_nn::ParamId, Tensor)>)> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let workers = threads.min(chunk.len());
+    let workers = resolve_threads(threads).min(chunk.len());
     if workers <= 1 {
         // lint: allow(panic, reason = "chunk indices are minted from 0..items.len() by the batch scheduler")
         return chunk.iter().map(|&i| item_loss(model, &items[i])).collect();
@@ -430,6 +442,165 @@ fn batch_losses(
                 .collect()
         })
         .expect("training scope joins cleanly"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+    let mut iters: Vec<_> = parts.into_iter().map(Vec::into_iter).collect();
+    (0..chunk.len())
+        // lint: allow(panic, reason = "worker w holds exactly the indices k with k % workers == w, so each next() yields")
+        .map(|k| iters[k % workers].next().expect("stride invariant"))
+        .collect()
+}
+
+/// One sample's loss value and parameter gradients.
+type SampleGrad = (f64, Vec<(routenet_nn::ParamId, Tensor)>);
+
+/// Resolve a `threads` config value to a concrete worker count.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Row-concatenate the column weights and targets of `sub`'s items, in
+/// order — the loss-side counterpart of [`BatchedScenario::pack`].
+fn stack_loss_tensors(items: &[Item], sub: &[usize]) -> (Arc<Tensor>, Tensor) {
+    let mut rows = 0usize;
+    let mut cols = 0usize;
+    for &i in sub {
+        // lint: allow(panic, reason = "sub indices are minted from 0..items.len() by the batch scheduler")
+        rows += items[i].target.rows();
+        cols = items[i].target.cols(); // lint: allow(panic, reason = "sub indices are minted from 0..items.len() by the batch scheduler")
+    }
+    let mut wdata = Vec::with_capacity(rows * cols);
+    let mut tdata = Vec::with_capacity(rows * cols);
+    for &i in sub {
+        // lint: allow(panic, reason = "sub indices are minted from 0..items.len() by the batch scheduler")
+        wdata.extend_from_slice(items[i].col_weights.data());
+        tdata.extend_from_slice(items[i].target.data()); // lint: allow(panic, reason = "sub indices are minted from 0..items.len() by the batch scheduler")
+    }
+    (
+        Arc::new(Tensor::from_vec(rows, cols, wdata)),
+        Tensor::from_vec(rows, cols, tdata),
+    )
+}
+
+/// One packed forward/backward over the items selected by `sub`, on an
+/// arena-reused tape. Returns per-sample `(loss, grads)` in `sub` order —
+/// each entry bitwise identical to what [`item_loss`] computes for that
+/// item on its own tape — plus the tape for the next pass.
+fn batched_sub_losses(
+    model: &RouteNet,
+    items: &[Item],
+    sub: &[usize],
+    arena: Tape,
+) -> (Vec<SampleGrad>, Tape) {
+    // lint: allow(panic, reason = "sub indices are minted from 0..items.len() by the batch scheduler")
+    let compiled: Vec<&CompiledScenario> = sub.iter().map(|&i| &items[i].compiled).collect();
+    let batch = BatchedScenario::pack(&compiled);
+    let (weights, targets) = stack_loss_tensors(items, sub);
+    let mut sess = Session::with_tape(model.store(), arena);
+    let out = model.forward_batch(&mut sess, &batch);
+    let weighted = sess.tape.mul_const_shared(out, &weights);
+    let seg_loss = sess.tape.seg_mse(weighted, &targets, batch.path_seg());
+    let total = sess.tape.sum_all(seg_loss);
+    let losses: Vec<f64> = (0..sub.len())
+        .map(|s| sess.tape.value(seg_loss).get(s, 0))
+        .collect();
+    let grads = sess.tape.backward(total);
+    let per_sample = sess.param_grads_seg(&grads, sub.len());
+    let out: Vec<SampleGrad> = losses.into_iter().zip(per_sample).collect();
+    (out, sess.into_tape())
+}
+
+/// Forward-only variant of [`batched_sub_losses`] for validation scoring:
+/// per-sample loss values in `sub` order, no gradients, no backward pass.
+fn batched_sub_loss_values(
+    model: &RouteNet,
+    items: &[Item],
+    sub: &[usize],
+    arena: Tape,
+) -> (Vec<f64>, Tape) {
+    // lint: allow(panic, reason = "sub indices are minted from 0..items.len() by the batch scheduler")
+    let compiled: Vec<&CompiledScenario> = sub.iter().map(|&i| &items[i].compiled).collect();
+    let batch = BatchedScenario::pack(&compiled);
+    let (weights, targets) = stack_loss_tensors(items, sub);
+    let mut sess = Session::with_tape(model.store(), arena);
+    let out = model.forward_batch(&mut sess, &batch);
+    let weighted = sess.tape.mul_const_shared(out, &weights);
+    let seg_loss = sess.tape.seg_mse(weighted, &targets, batch.path_seg());
+    let losses: Vec<f64> = (0..sub.len())
+        .map(|s| sess.tape.value(seg_loss).get(s, 0))
+        .collect();
+    (losses, sess.into_tape())
+}
+
+/// Per-item loss values for all of `items` in index order, computed in
+/// packed chunks of `batch_size` on one arena-reused tape. Each value is
+/// bitwise identical to [`item_loss_value`] for that item.
+fn batched_loss_values(
+    model: &RouteNet,
+    items: &[Item],
+    batch_size: usize,
+    arena: Tape,
+) -> (Vec<f64>, Tape) {
+    let idx: Vec<usize> = (0..items.len()).collect();
+    let mut out = Vec::with_capacity(items.len());
+    let mut arena = arena;
+    for sub in idx.chunks(batch_size.max(1)) {
+        let (losses, returned) = batched_sub_loss_values(model, items, sub, arena);
+        arena = returned;
+        out.extend_from_slice(&losses);
+    }
+    (out, arena)
+}
+
+/// Batched counterpart of [`batch_losses`]: worker `w` packs its strided
+/// share of `chunk` (indices w, w+workers, ...) into one
+/// [`BatchedScenario`] and runs a single forward/backward over it on its
+/// own arena tape. The sequential interleave restores `chunk` order, so
+/// the downstream reduction is byte-identical to the per-sample path at
+/// any thread count.
+fn batch_losses_batched(
+    model: &RouteNet,
+    items: &[Item],
+    chunk: &[usize],
+    threads: usize,
+    arenas: &mut [Tape],
+) -> Vec<SampleGrad> {
+    let workers = resolve_threads(threads).min(chunk.len()).min(arenas.len());
+    if workers <= 1 {
+        // lint: allow(panic, reason = "train_with_control sizes arenas to at least one slot")
+        let arena = std::mem::take(&mut arenas[0]);
+        let (out, returned) = batched_sub_losses(model, items, chunk, arena);
+        arenas[0] = returned; // lint: allow(panic, reason = "train_with_control sizes arenas to at least one slot")
+        return out;
+    }
+    // Each worker owns its arena for the duration of the scope and returns
+    // it through the join handle; the slots are refilled sequentially after
+    // the join so no spawned closure writes shared state.
+    let results: Vec<(Vec<SampleGrad>, Tape)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, slot) in arenas.iter_mut().take(workers).enumerate() {
+            let arena = std::mem::take(slot);
+            handles.push(scope.spawn(move |_| {
+                let sub: Vec<usize> = chunk.iter().copied().skip(w).step_by(workers).collect();
+                batched_sub_losses(model, items, &sub, arena)
+            }));
+        }
+        handles
+            .into_iter()
+            // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+            .map(|h| h.join().expect("training workers do not panic"))
+            .collect()
+    })
+    .expect("training scope joins cleanly"); // lint: allow(panic, reason = "worker panics are programming errors; propagating them is the intent")
+    let mut parts = Vec::with_capacity(workers);
+    for ((out, returned), slot) in results.into_iter().zip(arenas.iter_mut()) {
+        *slot = returned;
+        parts.push(out);
+    }
     let mut iters: Vec<_> = parts.into_iter().map(Vec::into_iter).collect();
     (0..chunk.len())
         // lint: allow(panic, reason = "worker w holds exactly the indices k with k % workers == w, so each next() yields")
@@ -619,16 +790,37 @@ pub fn train_with_control(
         }
     }
 
+    // Arena story: one tape per training worker plus one for evaluation
+    // passes, all owned here so their buffer pools persist across batches
+    // and epochs — after the first pass the steady-state loop allocates
+    // nothing. Workers take their tape by slot, so the arena a sub-batch
+    // replays into is deterministic.
+    let mut arenas: Vec<Tape> = (0..resolve_threads(cfg.threads).max(1))
+        .map(|_| Tape::new())
+        .collect();
+    let mut eval_arena = Tape::new();
+
     // Spike-detection reference: the last accepted epoch's training loss,
     // or (for a fresh run with detection enabled) an evaluation pass over
     // the training set at the initial parameters.
     let mut spike_ref: Option<f64> = state.epochs.last().map(|e| e.train_loss);
     if spike_ref.is_none() && cfg.max_spike_factor.is_some() {
-        let base = train_items
-            .iter()
-            .map(|it| item_loss_value(model, it))
-            .sum::<f64>()
-            / train_items.len() as f64;
+        let base = if cfg.batched {
+            let (losses, returned) = batched_loss_values(
+                model,
+                &train_items,
+                cfg.batch_size,
+                std::mem::take(&mut eval_arena),
+            );
+            eval_arena = returned;
+            losses.iter().sum::<f64>() / train_items.len() as f64
+        } else {
+            train_items
+                .iter()
+                .map(|it| item_loss_value(model, it))
+                .sum::<f64>()
+                / train_items.len() as f64
+        };
         spike_ref = Some(base);
     }
 
@@ -653,7 +845,12 @@ pub fn train_with_control(
             }
             let mut acc = GradAccumulator::new(model.store());
             let mut batch_loss = 0.0;
-            for (l, pg) in batch_losses(model, &train_items, chunk, cfg.threads) {
+            let sample_grads = if cfg.batched {
+                batch_losses_batched(model, &train_items, chunk, cfg.threads, &mut arenas)
+            } else {
+                batch_losses(model, &train_items, chunk, cfg.threads)
+            };
+            for (l, pg) in sample_grads {
                 batch_loss += l;
                 acc.add(&pg);
             }
@@ -684,6 +881,15 @@ pub fn train_with_control(
         }
         let val_loss = if diverged.is_some() || val_items.is_empty() {
             None
+        } else if cfg.batched {
+            let (losses, returned) = batched_loss_values(
+                model,
+                &val_items,
+                cfg.batch_size,
+                std::mem::take(&mut eval_arena),
+            );
+            eval_arena = returned;
+            Some(losses.iter().sum::<f64>() / val_items.len() as f64)
         } else {
             Some(
                 val_items
@@ -826,6 +1032,30 @@ pub fn train_with_control(
             }
         }
         epoch += 1;
+    }
+
+    // Arena telemetry: high-water tape footprint across all worker and
+    // eval arenas, plus how often a pass was served from recycled buffers.
+    // Steady-state health check: hits should dwarf misses after epoch one.
+    if cfg.telemetry.enabled() {
+        let tapes = arenas.iter().chain(std::iter::once(&eval_arena));
+        let mut max_nodes = 0usize;
+        let mut max_scalars = 0usize;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for t in tapes {
+            max_nodes = max_nodes.max(t.max_nodes());
+            max_scalars = max_scalars.max(t.max_scalars());
+            hits += t.reuse_hits();
+            misses += t.reuse_misses();
+        }
+        cfg.telemetry
+            .gauge_set("train.tape_max_nodes", max_nodes as f64);
+        cfg.telemetry
+            .gauge_set("train.tape_max_scalars", max_scalars as f64);
+        cfg.telemetry.counter_add("train.arena_reuse_hits", hits);
+        cfg.telemetry
+            .counter_add("train.arena_reuse_misses", misses);
     }
 
     // A final checkpoint at run exit (normal completion, early stop, or
@@ -1022,6 +1252,48 @@ mod tests {
         let seq = train_once(1);
         let par = train_once(4);
         assert_eq!(seq, par, "thread count changed the training result");
+    }
+
+    #[test]
+    fn train_config_batched_defaults_on_for_old_checkpoints() {
+        // Checkpoints written before the field existed must deserialize
+        // onto the batched path (both paths are bit-identical anyway).
+        let json = serde_json::to_string(&TrainConfig::default()).unwrap();
+        let stripped = json.replace("\"batched\":true,", "");
+        assert_ne!(json, stripped, "expected a batched field to strip");
+        let cfg: TrainConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(cfg.batched);
+    }
+
+    #[test]
+    fn batched_training_is_bit_identical_to_per_sample() {
+        let data = mm1_dataset(10, 17);
+        let train_once = |batched: bool, threads: usize| {
+            let mut model = tiny_model();
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: 5,
+                threads,
+                batched,
+                keep_best: false,
+                ..TrainConfig::default()
+            };
+            let report = train(&mut model, &data[..8], &data[8..], &cfg).unwrap();
+            (model.store().clone(), report.epochs)
+        };
+        let (seq_params, seq_curve) = train_once(false, 1);
+        let (bat_params, bat_curve) = train_once(true, 1);
+        assert_eq!(seq_params, bat_params, "batched mode changed the params");
+        assert_eq!(seq_curve, bat_curve, "batched mode changed the loss curve");
+        let (par_params, par_curve) = train_once(true, 4);
+        assert_eq!(
+            seq_params, par_params,
+            "threaded batched mode changed the params"
+        );
+        assert_eq!(
+            seq_curve, par_curve,
+            "threaded batched mode changed the loss curve"
+        );
     }
 
     #[test]
@@ -1262,6 +1534,54 @@ mod tests {
     }
 
     #[test]
+    fn resume_across_execution_modes_is_bit_identical() {
+        let data = mm1_dataset(10, 15);
+        let (train_set, val_set) = data.split_at(8);
+        let path = tmp_path("resume_xmode");
+
+        // Uninterrupted reference: 4 epochs on the (default) batched path.
+        let mut full = tiny_model();
+        let cfg4 = TrainConfig {
+            epochs: 4,
+            batch_size: 3,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
+        let full_report = train(&mut full, train_set, val_set, &cfg4).unwrap();
+
+        // Checkpoint written by the sequential per-sample path...
+        let mut half = tiny_model();
+        let cfg_seq = TrainConfig {
+            epochs: 2,
+            batched: false,
+            checkpoint_path: Some(path.to_string_lossy().into_owned()),
+            ..cfg4.clone()
+        };
+        train(&mut half, train_set, val_set, &cfg_seq).unwrap();
+
+        // ...resumes under the batched kernel: execution strategy is not
+        // part of the resume-compat contract, and because the two paths are
+        // bit-identical the crossover leaves no trace in the result.
+        let mut resumed = tiny_model();
+        let cfg_resume = TrainConfig {
+            epochs: 4,
+            batched: true,
+            resume_from: Some(path.to_string_lossy().into_owned()),
+            checkpoint_path: None,
+            ..cfg4.clone()
+        };
+        let resumed_report = train(&mut resumed, train_set, val_set, &cfg_resume).unwrap();
+
+        assert_eq!(full.store(), resumed.store());
+        assert_eq!(full_report.epochs, resumed_report.epochs);
+        assert_eq!(
+            full_report.best_loss.to_bits(),
+            resumed_report.best_loss.to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn telemetry_records_epochs_rollbacks_and_checkpoints() {
         let data = mm1_dataset(6, 16);
         let path = tmp_path("telemetry");
@@ -1289,6 +1609,10 @@ mod tests {
         assert!(count("CheckpointWrite") >= 1);
         assert_eq!(tel.counter("train.epochs"), report.epochs.len() as u64);
         assert!(tel.gauge("train.tape_nodes_per_sample").unwrap_or(0.0) > 0.0);
+        assert!(tel.gauge("train.tape_max_nodes").unwrap_or(0.0) > 0.0);
+        assert!(tel.gauge("train.tape_max_scalars").unwrap_or(0.0) > 0.0);
+        // Every pass after the very first replays into recycled buffers.
+        assert!(tel.counter("train.arena_reuse_hits") > 0);
         assert!(tel.histogram_summary("train.epoch_s").is_some());
         std::fs::remove_file(&path).ok();
     }

@@ -57,7 +57,11 @@ impl From<GraphError> for RoutingError {
 
 /// A complete source-destination routing scheme: exactly one path per ordered
 /// node pair `(s, d)`, `s != d`, stored as a link-id sequence.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full path tables — eval sweeps use it to detect
+/// consecutive samples that share a routing and reuse the compiled
+/// message-passing index instead of rebuilding it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoutingScheme {
     n_nodes: usize,
     /// `paths[s * n + d]` = link sequence from s to d (empty for s == d).

@@ -1,6 +1,7 @@
 //! Neural-network layers: dense, MLP, and the GRU cell at RouteNet's core.
 
 use crate::params::{ParamId, ParamStore, Session};
+use crate::plan::SegmentPlan;
 use crate::tape::Var;
 use crate::tensor::Tensor;
 use rand::Rng;
@@ -69,6 +70,19 @@ impl Dense {
         apply(sess, self.act, z)
     }
 
+    /// Segment-aware forward: same op sequence (and bitwise the same values)
+    /// as [`Dense::forward`], but weight/bias gradients accumulate into
+    /// per-segment slots so each sample in a concatenated batch gets exactly
+    /// the gradient a per-sample tape would produce.
+    pub fn forward_seg(&self, sess: &mut Session, x: Var, seg: &SegmentPlan) -> Var {
+        debug_assert_eq!(sess.tape.value(x).cols(), self.in_dim, "Dense input width");
+        let w = sess.param(self.w);
+        let b = sess.param(self.b);
+        let xw = sess.tape.seg_matmul(x, w, seg);
+        let z = sess.tape.seg_add_row(xw, b, seg);
+        apply(sess, self.act, z)
+    }
+
     /// Input width.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -121,6 +135,14 @@ impl Mlp {
     pub fn forward(&self, sess: &mut Session, mut x: Var) -> Var {
         for l in &self.layers {
             x = l.forward(sess, x);
+        }
+        x
+    }
+
+    /// Segment-aware forward (see [`Dense::forward_seg`]).
+    pub fn forward_seg(&self, sess: &mut Session, mut x: Var, seg: &SegmentPlan) -> Var {
+        for l in &self.layers {
+            x = l.forward_seg(sess, x, seg);
         }
         x
     }
@@ -245,6 +267,55 @@ impl GruCell {
         t.add(keep, take)
     }
 
+    /// Segment-aware step: same op sequence (and bitwise the same values)
+    /// as [`GruCell::step`], with all six weight matmuls and three bias adds
+    /// recorded as segment ops so per-sample gradients stay separable in a
+    /// concatenated batch.
+    pub fn step_seg(&self, sess: &mut Session, x: Var, h: Var, seg: &SegmentPlan) -> Var {
+        debug_assert_eq!(sess.tape.value(x).cols(), self.in_dim, "GRU input width");
+        debug_assert_eq!(sess.tape.value(h).cols(), self.hid_dim, "GRU hidden width");
+        let (wz, uz, bz) = (
+            sess.param(self.wz),
+            sess.param(self.uz),
+            sess.param(self.bz),
+        );
+        let (wr, ur, br) = (
+            sess.param(self.wr),
+            sess.param(self.ur),
+            sess.param(self.br),
+        );
+        let (wh, uh, bh) = (
+            sess.param(self.wh),
+            sess.param(self.uh),
+            sess.param(self.bh),
+        );
+
+        let t = &mut sess.tape;
+        let xwz = t.seg_matmul(x, wz, seg);
+        let huz = t.seg_matmul(h, uz, seg);
+        let zs = t.add(xwz, huz);
+        let zs = t.seg_add_row(zs, bz, seg);
+        let z = t.sigmoid(zs);
+
+        let xwr = t.seg_matmul(x, wr, seg);
+        let hur = t.seg_matmul(h, ur, seg);
+        let rs = t.add(xwr, hur);
+        let rs = t.seg_add_row(rs, br, seg);
+        let r = t.sigmoid(rs);
+
+        let rh = t.mul(r, h);
+        let xwh = t.seg_matmul(x, wh, seg);
+        let rhuh = t.seg_matmul(rh, uh, seg);
+        let cs = t.add(xwh, rhuh);
+        let cs = t.seg_add_row(cs, bh, seg);
+        let c = t.tanh(cs);
+
+        let zi = t.one_minus(z);
+        let keep = t.mul(zi, h);
+        let take = t.mul(z, c);
+        t.add(keep, take)
+    }
+
     /// Input width.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -343,6 +414,55 @@ mod tests {
         let h1 = gru.step(&mut sess, x, h0);
         for (a, b) in sess.tape.value(h1).data().iter().zip(h0t.data()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn seg_variants_match_per_sample_forward_and_grads() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let gru = GruCell::new(&mut store, "g", 3, 4, &mut rng);
+        let readout = Dense::new(&mut store, "r", 4, 2, Activation::Tanh, &mut rng);
+        let lens = [2usize, 3];
+        let seg = SegmentPlan::from_lens(&lens);
+        let x = Tensor::from_fn(5, 3, |r, c| (r as f64 * 0.3 - c as f64 * 0.7).sin());
+        let h = Tensor::from_fn(5, 4, |r, c| (r as f64 * 0.11 + c as f64 * 0.05).cos());
+
+        // Batched tape over both samples.
+        let mut bs = Session::new(&store);
+        let bx = bs.input(x.clone());
+        let bh = bs.input(h.clone());
+        let bh1 = gru.step_seg(&mut bs, bx, bh, &seg);
+        let by = readout.forward_seg(&mut bs, bh1, &seg);
+        let bl = bs.tape.sum_all(by);
+        let bg = bs.tape.backward(bl);
+        let per_sample = bs.param_grads_seg(&bg, 2);
+
+        // One tape per sample.
+        let mut lo = 0usize;
+        for (s, &n) in lens.iter().enumerate() {
+            let mut ps = Session::new(&store);
+            let px = ps.input(x.rows_copy(lo, lo + n));
+            let ph = ps.input(h.rows_copy(lo, lo + n));
+            let ph1 = gru.step(&mut ps, px, ph);
+            let py = readout.forward(&mut ps, ph1);
+            let pl = ps.tape.sum_all(py);
+            let pg = ps.tape.backward(pl);
+            assert_eq!(
+                &bs.tape.value(by).rows_copy(lo, lo + n),
+                ps.tape.value(py),
+                "sample {s} forward mismatch"
+            );
+            // The per-sample tape uses plain ops throughout — its
+            // param_grads are the reference the batched per-segment slots
+            // must reproduce bitwise.
+            let expect = ps.param_grads(&pg);
+            assert_eq!(per_sample[s].len(), expect.len(), "sample {s} param count");
+            for ((ia, ga), (ib, gb)) in per_sample[s].iter().zip(&expect) {
+                assert_eq!(ia, ib);
+                assert_eq!(ga, gb, "sample {s} grad mismatch for {}", store.name(*ia));
+            }
+            lo += n;
         }
     }
 

@@ -43,6 +43,7 @@
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod plan;
 pub mod tape;
 pub mod tensor;
 
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use crate::layers::{Activation, Dense, GruCell, Mlp};
     pub use crate::optim::{clip_global_norm, Adam, Sgd};
     pub use crate::params::{GradAccumulator, ParamId, ParamStore, Session};
+    pub use crate::plan::{IndexPlan, SegmentPlan};
     pub use crate::tape::{Gradients, Tape, Var};
     pub use crate::tensor::Tensor;
 }
@@ -58,5 +60,6 @@ pub mod prelude {
 pub use layers::{Activation, Dense, GruCell, Mlp};
 pub use optim::{Adam, Sgd};
 pub use params::{GradAccumulator, ParamId, ParamStore, Session};
+pub use plan::{IndexPlan, SegmentPlan};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;

@@ -133,10 +133,33 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Start a session over `store`.
     pub fn new(store: &'a ParamStore) -> Self {
+        Session::with_tape(store, Tape::new())
+    }
+
+    /// Start a session over `store` reusing an arena-backed tape from a
+    /// previous pass. The tape is reset (recycling its value buffers) before
+    /// recording begins; pair with [`Session::into_tape`] to thread one tape
+    /// through a training or eval loop with zero steady-state allocation.
+    pub fn with_tape(store: &'a ParamStore, mut tape: Tape) -> Self {
+        tape.reset();
         Session {
-            tape: Tape::new(),
+            tape,
             store,
             bound: vec![None; store.len()],
+        }
+    }
+
+    /// End the session, yielding the tape for arena reuse.
+    pub fn into_tape(self) -> Tape {
+        self.tape
+    }
+
+    /// Clear the session for another forward pass over the same store:
+    /// resets the tape (recycling value buffers) and unbinds all params.
+    pub fn reset(&mut self) {
+        self.tape.reset();
+        for b in self.bound.iter_mut() {
+            *b = None;
         }
     }
 
@@ -145,7 +168,7 @@ impl<'a> Session<'a> {
         if let Some(v) = self.bound[id.0] {
             return v;
         }
-        let v = self.tape.leaf(self.store.get(id).clone());
+        let v = self.tape.leaf_copied(self.store.get(id));
         self.bound[id.0] = Some(v);
         v
     }
@@ -153,6 +176,12 @@ impl<'a> Session<'a> {
     /// Register a non-trainable input tensor.
     pub fn input(&mut self, t: Tensor) -> Var {
         self.tape.leaf(t)
+    }
+
+    /// Register a non-trainable input by copying into an arena-recycled
+    /// buffer (keeps the tape pool balanced in reset loops).
+    pub fn input_copied(&mut self, t: &Tensor) -> Var {
+        self.tape.leaf_copied(t)
     }
 
     /// Collect `(param, grad)` pairs for every bound parameter that received
@@ -163,6 +192,27 @@ impl<'a> Session<'a> {
             if let Some(v) = b {
                 if let Some(g) = grads.get(*v) {
                     out.push((ParamId(i), g.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Collect per-sample `(param, grad)` lists from a batched backward
+    /// pass over `n_seg` segments.
+    ///
+    /// Entry `s` holds, in parameter-id order, exactly the pairs
+    /// [`Session::param_grads`] would return for sample `s` run on its own
+    /// tape: weights/biases touched by `seg_matmul`/`seg_add_row` come from
+    /// their per-segment slots, and parameters a sample never touched are
+    /// skipped (as a per-sample tape would skip them).
+    pub fn param_grads_seg(&self, grads: &Gradients, n_seg: usize) -> Vec<Vec<(ParamId, Tensor)>> {
+        let mut out: Vec<Vec<(ParamId, Tensor)>> = (0..n_seg).map(|_| Vec::new()).collect();
+        for (i, b) in self.bound.iter().enumerate() {
+            let Some(v) = b else { continue };
+            for (s, per_sample) in out.iter_mut().enumerate() {
+                if let Some(g) = grads.seg_get(*v, s) {
+                    per_sample.push((ParamId(i), g.clone()));
                 }
             }
         }

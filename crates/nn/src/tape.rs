@@ -9,7 +9,30 @@
 //!
 //! Every op's gradient is validated against central finite differences in
 //! this crate's test suite.
+//!
+//! # Arena reuse
+//!
+//! A tape can be recycled across forward/backward passes with
+//! [`Tape::reset`]: node value buffers are drained into an internal pool and
+//! handed back out by the next pass's ops in allocation order. Because a
+//! training loop replays the same op sequence every iteration, the pool
+//! reaches a steady state after the first pass and the hot loop performs no
+//! further value-buffer heap allocation. See DESIGN.md "Batched execution &
+//! memory arenas".
+//!
+//! # Segment ops
+//!
+//! The `seg_*` and `segment_*` ops operate on tensors whose rows are the
+//! concatenation of several samples' row blocks (described by a
+//! [`SegmentPlan`]). Their forward values are bitwise identical to the
+//! unsegmented ops; what differs is the backward pass, which keeps
+//! per-segment gradient partials separate so a batched backward associates
+//! floating-point sums exactly like running the samples one at a time.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::plan::{IndexPlan, SegmentPlan};
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Tape`].
@@ -39,6 +62,24 @@ enum Op {
     GatherRows(Var, Vec<usize>),
     /// `out[idx[i], :] += a[i, :]`, out has `out_rows` rows.
     ScatterAddRows(Var, Vec<usize>),
+    /// `gather_rows` with a shared precomputed index plan (no copy per push).
+    GatherRowsP(Var, IndexPlan),
+    /// `scatter_add_rows` with a shared precomputed index plan.
+    ScatterAddRowsP(Var, IndexPlan),
+    /// `mul_const` with a shared constant (no tensor copy per push).
+    MulConstShared(Var, Arc<Tensor>),
+    /// Batched matmul against a shared rhs; backward keeps per-segment
+    /// weight-gradient partials separate (forward == MatMul bitwise).
+    SegMatMul(Var, Var, SegmentPlan),
+    /// Batched bias add; backward keeps per-segment bias partials separate
+    /// (forward == AddRow bitwise).
+    SegAddRow(Var, Var, SegmentPlan),
+    /// `out[s, :] = sum of a's rows in segment s` (ascending row order).
+    SegmentSum(Var, SegmentPlan),
+    /// `out[s, :] = mean of a's rows in segment s`.
+    SegmentMean(Var, SegmentPlan),
+    /// Per-segment mean squared error: `out[s, 0] = mse over segment s`.
+    SegMse(Var, Tensor, SegmentPlan),
     SumAll(Var),
     MeanAll(Var),
     /// Mean squared error against a constant target.
@@ -57,15 +98,66 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     poisoned: bool,
+    /// Recycled value buffers, FIFO. `reset` drains node values here in
+    /// allocation order; `alloc_tensor` pops front, so a replayed op
+    /// sequence gets each buffer back at exactly the right capacity.
+    pool: VecDeque<Vec<f64>>,
+    reuse_hits: u64,
+    reuse_misses: u64,
+    max_nodes: usize,
+    max_scalars: usize,
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
-        Tape {
-            nodes: Vec::new(),
-            poisoned: false,
+        Tape::default()
+    }
+
+    /// Clear the tape for the next forward pass, recycling every node's
+    /// value buffer into the arena pool. High-water stats and reuse
+    /// counters survive the reset (they are cumulative telemetry).
+    pub fn reset(&mut self) {
+        self.max_nodes = self.max_nodes.max(self.nodes.len());
+        self.max_scalars = self.max_scalars.max(self.value_scalars());
+        for node in self.nodes.drain(..) {
+            self.pool.push_back(node.value.into_data());
         }
+        self.poisoned = false;
+    }
+
+    /// Allocate (or recycle) a zeroed `rows x cols` value tensor.
+    fn alloc_tensor(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.pool.pop_front() {
+            Some(buf) => {
+                self.reuse_hits += 1;
+                Tensor::from_buffer(rows, cols, buf)
+            }
+            None => {
+                self.reuse_misses += 1;
+                Tensor::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Cumulative count of value buffers recycled from the arena pool.
+    pub fn reuse_hits(&self) -> u64 {
+        self.reuse_hits
+    }
+
+    /// Cumulative count of value buffers that had to be freshly allocated.
+    pub fn reuse_misses(&self) -> u64 {
+        self.reuse_misses
+    }
+
+    /// High-water node count across all resets (plus the live tape).
+    pub fn max_nodes(&self) -> usize {
+        self.max_nodes.max(self.nodes.len())
+    }
+
+    /// High-water value-scalar count across all resets (plus the live tape).
+    pub fn max_scalars(&self) -> usize {
+        self.max_scalars.max(self.value_scalars())
     }
 
     /// True if any recorded node produced a non-finite value. A poisoned
@@ -115,19 +207,41 @@ impl Tape {
     }
 
     /// Register a leaf (input or parameter).
+    ///
+    /// The caller-provided tensor enters the tape as-is; its buffer joins
+    /// the arena pool at the next `reset`. Loops that reset the tape should
+    /// prefer [`Tape::leaf_copied`], which *draws* the buffer from the pool
+    /// and therefore keeps pool pushes and pops balanced.
     pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(Op::Leaf, t)
+    }
+
+    /// Register a leaf by copying `src` into an arena-recycled buffer.
+    pub fn leaf_copied(&mut self, src: &Tensor) -> Var {
+        let mut t = self.alloc_tensor(src.rows(), src.cols());
+        t.copy_from(src);
         self.push(Op::Leaf, t)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let ar = self.value(a).rows();
+        let bc = self.value(b).cols();
+        let mut v = self.alloc_tensor(ar, bc);
+        self.value(a).matmul_into(self.value(b), &mut v);
         self.push(Op::MatMul(a, b), v)
     }
 
     /// Elementwise sum of two same-shaped tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let (r, c) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (r, c), "add shape mismatch");
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        let bv = self.value(b);
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = x + y;
+        }
         self.push(Op::Add(a, b), v)
     }
 
@@ -137,27 +251,51 @@ impl Tape {
         let (br, bc) = self.value(b).shape();
         assert_eq!(br, 1, "add_row rhs must be a row vector");
         assert_eq!(ac, bc, "add_row width mismatch");
+        let mut v = self.alloc_tensor(ar, ac);
         let av = self.value(a);
         let bv = self.value(b);
-        let v = Tensor::from_fn(ar, ac, |r, c| av.get(r, c) + bv.get(0, c));
+        for r in 0..ar {
+            for c in 0..ac {
+                v.set(r, c, av.get(r, c) + bv.get(0, c));
+            }
+        }
         self.push(Op::AddRow(a, b), v)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let (r, c) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (r, c), "sub shape mismatch");
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        let bv = self.value(b);
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = x - y;
+        }
         self.push(Op::Sub(a, b), v)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let (r, c) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (r, c), "mul shape mismatch");
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        let bv = self.value(b);
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = x * y;
+        }
         self.push(Op::Mul(a, b), v)
     }
 
     /// `alpha * a + beta` elementwise.
     pub fn affine(&mut self, a: Var, alpha: f64, beta: f64) -> Var {
-        let v = self.value(a).map(|x| alpha * x + beta);
+        let (r, c) = self.value(a).shape();
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        for (o, &x) in v.data_mut().iter_mut().zip(av.data()) {
+            *o = alpha * x + beta;
+        }
         self.push(Op::Affine(a, alpha, beta), v)
     }
 
@@ -168,68 +306,122 @@ impl Tape {
 
     /// Elementwise product with a constant (no gradient flows into `c`).
     pub fn mul_const(&mut self, a: Var, c: &Tensor) -> Var {
-        let v = self.value(a).zip(c, |x, y| x * y);
+        let (r, cc) = self.value(a).shape();
+        assert_eq!(c.shape(), (r, cc), "mul_const shape mismatch");
+        let mut v = self.alloc_tensor(r, cc);
+        let av = self.value(a);
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(av.data()).zip(c.data()) {
+            *o = x * y;
+        }
         self.push(Op::MulConst(a, c.clone()), v)
+    }
+
+    /// `mul_const` against a shared constant: pushing the op bumps an `Arc`
+    /// refcount instead of copying the tensor. Use for masks/weights that
+    /// are applied every pass (e.g. position keep-masks in the batched
+    /// kernel). Gradient behaviour is identical to [`Tape::mul_const`].
+    pub fn mul_const_shared(&mut self, a: Var, c: &Arc<Tensor>) -> Var {
+        let (r, cc) = self.value(a).shape();
+        assert_eq!(c.shape(), (r, cc), "mul_const_shared shape mismatch");
+        let mut v = self.alloc_tensor(r, cc);
+        let av = self.value(a);
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(av.data()).zip(c.data()) {
+            *o = x * y;
+        }
+        self.push(Op::MulConstShared(a, Arc::clone(c)), v)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let (r, c) = self.value(a).shape();
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        for (o, &x) in v.data_mut().iter_mut().zip(av.data()) {
+            *o = 1.0 / (1.0 + (-x).exp());
+        }
         self.push(Op::Sigmoid(a), v)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f64::tanh);
+        let (r, c) = self.value(a).shape();
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        for (o, &x) in v.data_mut().iter_mut().zip(av.data()) {
+            *o = x.tanh();
+        }
         self.push(Op::Tanh(a), v)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let (r, c) = self.value(a).shape();
+        let mut v = self.alloc_tensor(r, c);
+        let av = self.value(a);
+        for (o, &x) in v.data_mut().iter_mut().zip(av.data()) {
+            *o = x.max(0.0);
+        }
         self.push(Op::Relu(a), v)
     }
 
     /// Horizontal concatenation `[a | b]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (r, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(r, br, "concat_cols row mismatch");
+        let mut v = self.alloc_tensor(r, ac + bc);
         let av = self.value(a);
         let bv = self.value(b);
-        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
-        let (r, ac, bc) = (av.rows(), av.cols(), bv.cols());
-        let v = Tensor::from_fn(r, ac + bc, |i, j| {
-            if j < ac {
-                av.get(i, j)
-            } else {
-                bv.get(i, j - ac)
+        for i in 0..r {
+            for j in 0..ac {
+                v.set(i, j, av.get(i, j));
             }
-        });
+            for j in 0..bc {
+                v.set(i, ac + j, bv.get(i, j));
+            }
+        }
         self.push(Op::ConcatCols(a, b), v)
     }
 
     /// Row gather: `out[i, :] = a[idx[i], :]`. Indices may repeat.
     pub fn gather_rows(&mut self, a: Var, idx: Vec<usize>) -> Var {
-        let av = self.value(a);
-        let cols = av.cols();
+        let (rows, cols) = self.value(a).shape();
         for &i in &idx {
-            assert!(i < av.rows(), "gather index {i} out of {} rows", av.rows());
+            assert!(i < rows, "gather index {i} out of {rows} rows");
         }
-        let mut v = Tensor::zeros(idx.len(), cols);
+        let mut v = self.alloc_tensor(idx.len(), cols);
+        let av = self.value(a);
         for (r, &i) in idx.iter().enumerate() {
             v.copy_row_from(r, av, i);
         }
         self.push(Op::GatherRows(a, idx), v)
     }
 
+    /// [`Tape::gather_rows`] with a precomputed shared index plan: pushing
+    /// the op bumps an `Arc` refcount instead of copying the index vector.
+    pub fn gather_rows_plan(&mut self, a: Var, plan: &IndexPlan) -> Var {
+        let (rows, cols) = self.value(a).shape();
+        for &i in plan.indices() {
+            assert!(i < rows, "gather index {i} out of {rows} rows");
+        }
+        let mut v = self.alloc_tensor(plan.len(), cols);
+        let av = self.value(a);
+        for (r, &i) in plan.indices().iter().enumerate() {
+            v.copy_row_from(r, av, i);
+        }
+        self.push(Op::GatherRowsP(a, plan.clone()), v)
+    }
+
     /// Row scatter-add: `out[idx[i], :] += a[i, :]` into a fresh
     /// `out_rows x cols` zero tensor. The message-aggregation primitive.
     pub fn scatter_add_rows(&mut self, a: Var, idx: Vec<usize>, out_rows: usize) -> Var {
-        let av = self.value(a);
-        assert_eq!(idx.len(), av.rows(), "one index per input row required");
-        let cols = av.cols();
+        let (in_rows, cols) = self.value(a).shape();
+        assert_eq!(idx.len(), in_rows, "one index per input row required");
         for &i in &idx {
             assert!(i < out_rows, "scatter index {i} out of {out_rows} rows");
         }
-        let mut v = Tensor::zeros(out_rows, cols);
+        let mut v = self.alloc_tensor(out_rows, cols);
+        let av = self.value(a);
         for (r, &i) in idx.iter().enumerate() {
             for c in 0..cols {
                 v.set(i, c, v.get(i, c) + av.get(r, c));
@@ -238,23 +430,156 @@ impl Tape {
         self.push(Op::ScatterAddRows(a, idx), v)
     }
 
+    /// [`Tape::scatter_add_rows`] with a precomputed shared index plan.
+    pub fn scatter_add_rows_plan(&mut self, a: Var, plan: &IndexPlan, out_rows: usize) -> Var {
+        let (in_rows, cols) = self.value(a).shape();
+        assert_eq!(plan.len(), in_rows, "one index per input row required");
+        for &i in plan.indices() {
+            assert!(i < out_rows, "scatter index {i} out of {out_rows} rows");
+        }
+        let mut v = self.alloc_tensor(out_rows, cols);
+        let av = self.value(a);
+        for (r, &i) in plan.indices().iter().enumerate() {
+            for c in 0..cols {
+                v.set(i, c, v.get(i, c) + av.get(r, c));
+            }
+        }
+        self.push(Op::ScatterAddRowsP(a, plan.clone()), v)
+    }
+
+    /// Batched matrix product `a * b` where `a`'s rows are the concatenation
+    /// of per-sample row blocks (per `seg`) and `b` is a weight shared by
+    /// every sample. The forward value is bitwise identical to
+    /// [`Tape::matmul`]; the backward pass accumulates `b`'s gradient into
+    /// per-segment slots (see [`Gradients::seg_get`]) so each sample's
+    /// weight gradient is exactly what a per-sample tape would produce.
+    pub fn seg_matmul(&mut self, a: Var, b: Var, seg: &SegmentPlan) -> Var {
+        let ar = self.value(a).rows();
+        assert_eq!(seg.total(), ar, "seg_matmul segment coverage mismatch");
+        let bc = self.value(b).cols();
+        let mut v = self.alloc_tensor(ar, bc);
+        self.value(a).matmul_into(self.value(b), &mut v);
+        self.push(Op::SegMatMul(a, b, seg.clone()), v)
+    }
+
+    /// Batched bias add (`add_row` over concatenated row blocks). Forward is
+    /// bitwise identical to [`Tape::add_row`]; backward keeps per-segment
+    /// bias-gradient partials separate, like [`Tape::seg_matmul`].
+    pub fn seg_add_row(&mut self, a: Var, b: Var, seg: &SegmentPlan) -> Var {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(br, 1, "seg_add_row rhs must be a row vector");
+        assert_eq!(ac, bc, "seg_add_row width mismatch");
+        assert_eq!(seg.total(), ar, "seg_add_row segment coverage mismatch");
+        let mut v = self.alloc_tensor(ar, ac);
+        let av = self.value(a);
+        let bv = self.value(b);
+        for r in 0..ar {
+            for c in 0..ac {
+                v.set(r, c, av.get(r, c) + bv.get(0, c));
+            }
+        }
+        self.push(Op::SegAddRow(a, b, seg.clone()), v)
+    }
+
+    /// Segment sum: `out[s, :]` is the column-wise sum of `a`'s rows in
+    /// segment `s`, accumulated in ascending row order (the determinism
+    /// contract — see DESIGN.md). Empty segments yield zero rows.
+    pub fn segment_sum(&mut self, a: Var, seg: &SegmentPlan) -> Var {
+        let (ar, cols) = self.value(a).shape();
+        assert_eq!(seg.total(), ar, "segment_sum segment coverage mismatch");
+        let n_seg = seg.n_segments();
+        let mut v = self.alloc_tensor(n_seg, cols);
+        let av = self.value(a);
+        for s in 0..n_seg {
+            let (lo, hi) = seg.range(s);
+            for r in lo..hi {
+                for c in 0..cols {
+                    v.set(s, c, v.get(s, c) + av.get(r, c));
+                }
+            }
+        }
+        self.push(Op::SegmentSum(a, seg.clone()), v)
+    }
+
+    /// Segment mean: `out[s, :]` is the column-wise mean of `a`'s rows in
+    /// segment `s`. Panics on empty segments (a mean over zero rows is
+    /// undefined; pad or filter before calling).
+    pub fn segment_mean(&mut self, a: Var, seg: &SegmentPlan) -> Var {
+        let (ar, cols) = self.value(a).shape();
+        assert_eq!(seg.total(), ar, "segment_mean segment coverage mismatch");
+        let n_seg = seg.n_segments();
+        let mut v = self.alloc_tensor(n_seg, cols);
+        let av = self.value(a);
+        for s in 0..n_seg {
+            let (lo, hi) = seg.range(s);
+            assert!(hi > lo, "segment_mean requires non-empty segments");
+            let n = (hi - lo) as f64;
+            for r in lo..hi {
+                for c in 0..cols {
+                    v.set(s, c, v.get(s, c) + av.get(r, c));
+                }
+            }
+            for c in 0..cols {
+                v.set(s, c, v.get(s, c) / n);
+            }
+        }
+        self.push(Op::SegmentMean(a, seg.clone()), v)
+    }
+
+    /// Per-segment mean squared error: `out[s, 0]` is the MSE between
+    /// `pred`'s and `target`'s rows in segment `s`, folded in flat
+    /// row-major order — exactly the fold [`Tape::mse`] performs on one
+    /// sample's rows, so batched per-sample losses are bitwise identical
+    /// to per-sample `mse` calls. Panics on empty segments.
+    pub fn seg_mse(&mut self, pred: Var, target: &Tensor, seg: &SegmentPlan) -> Var {
+        let (pr, cols) = self.value(pred).shape();
+        assert_eq!(target.shape(), (pr, cols), "seg_mse shape mismatch");
+        assert_eq!(seg.total(), pr, "seg_mse segment coverage mismatch");
+        let n_seg = seg.n_segments();
+        let mut v = self.alloc_tensor(n_seg, 1);
+        let p = self.value(pred);
+        for s in 0..n_seg {
+            let (lo, hi) = seg.range(s);
+            assert!(hi > lo, "seg_mse requires non-empty segments");
+            let n = ((hi - lo) * cols) as f64;
+            let loss = p.data()[lo * cols..hi * cols] // lint: allow(panic, reason = "segment offsets validated against pred rows above")
+                .iter()
+                .zip(&target.data()[lo * cols..hi * cols]) // lint: allow(panic, reason = "target shape equals pred shape, asserted above")
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / n;
+            v.set(s, 0, loss);
+        }
+        self.push(Op::SegMse(pred, target.clone(), seg.clone()), v)
+    }
+
     /// Sum of all elements (`1 x 1`).
     pub fn sum_all(&mut self, a: Var) -> Var {
         let s = self.value(a).sum();
-        self.push(Op::SumAll(a), Tensor::from_vec(1, 1, vec![s]))
+        let mut v = self.alloc_tensor(1, 1);
+        v.set(0, 0, s);
+        self.push(Op::SumAll(a), v)
     }
 
     /// Mean of all elements (`1 x 1`).
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = self.value(a);
-        let m = v.sum() / v.len() as f64;
-        self.push(Op::MeanAll(a), Tensor::from_vec(1, 1, vec![m]))
+        let av = self.value(a);
+        let m = av.sum() / av.len() as f64;
+        let mut v = self.alloc_tensor(1, 1);
+        v.set(0, 0, m);
+        self.push(Op::MeanAll(a), v)
     }
 
     /// Mean squared error between `pred` and a constant `target` (`1 x 1`).
     pub fn mse(&mut self, pred: Var, target: &Tensor) -> Var {
+        assert_eq!(
+            self.value(pred).shape(),
+            target.shape(),
+            "mse shape mismatch"
+        );
+        let mut v = self.alloc_tensor(1, 1);
         let p = self.value(pred);
-        assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
         let n = p.len() as f64;
         let loss = p
             .data()
@@ -263,16 +588,19 @@ impl Tape {
             .map(|(&a, &b)| (a - b) * (a - b))
             .sum::<f64>()
             / n;
-        self.push(
-            Op::Mse(pred, target.clone()),
-            Tensor::from_vec(1, 1, vec![loss]),
-        )
+        v.set(0, 0, loss);
+        self.push(Op::Mse(pred, target.clone()), v)
     }
 
     /// Mean absolute error between `pred` and a constant `target` (`1 x 1`).
     pub fn mae(&mut self, pred: Var, target: &Tensor) -> Var {
+        assert_eq!(
+            self.value(pred).shape(),
+            target.shape(),
+            "mae shape mismatch"
+        );
+        let mut v = self.alloc_tensor(1, 1);
         let p = self.value(pred);
-        assert_eq!(p.shape(), target.shape(), "mae shape mismatch");
         let n = p.len() as f64;
         let loss = p
             .data()
@@ -281,10 +609,8 @@ impl Tape {
             .map(|(&a, &b)| (a - b).abs())
             .sum::<f64>()
             / n;
-        self.push(
-            Op::Mae(pred, target.clone()),
-            Tensor::from_vec(1, 1, vec![loss]),
-        )
+        v.set(0, 0, loss);
+        self.push(Op::Mae(pred, target.clone()), v)
     }
 
     /// Reverse pass from `loss` (must be `1 x 1`). Returns one gradient slot
@@ -296,6 +622,8 @@ impl Tape {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         debug_assert!(loss.0 < self.nodes.len(), "loss Var from a different tape");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        let mut seg: Vec<Option<Vec<Option<Tensor>>>> =
+            (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0])); // lint: allow(panic, reason = "one grad slot per node, see INVARIANT above")
         for i in (0..=loss.0).rev() {
             // lint: allow(panic, reason = "i <= loss.0 < nodes.len() == grads.len()")
@@ -304,16 +632,22 @@ impl Tape {
                 self.poisoned || g.all_finite(),
                 "non-finite gradient reached node {i} on a clean tape"
             );
-            self.accumulate(i, &g, &mut grads);
+            self.accumulate(i, &g, &mut grads, &mut seg);
             grads[i] = Some(g); // lint: allow(panic, reason = "same in-bounds index as the take above")
         }
-        Gradients { grads }
+        Gradients { grads, seg }
     }
 
-    /// INVARIANT: callers pass `i < self.nodes.len()` and a `grads` slice
-    /// with one slot per node; ops only reference `Var`s older than their own
-    /// node, so `v.0 < i` for every operand.
-    fn accumulate(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+    /// INVARIANT: callers pass `i < self.nodes.len()` and `grads`/`seg`
+    /// slices with one slot per node; ops only reference `Var`s older than
+    /// their own node, so `v.0 < i` for every operand.
+    fn accumulate(
+        &self,
+        i: usize,
+        g: &Tensor,
+        grads: &mut [Option<Tensor>],
+        seg: &mut [Option<Vec<Option<Tensor>>>],
+    ) {
         debug_assert!(i < self.nodes.len() && grads.len() == self.nodes.len());
         let poisoned = self.poisoned;
         let add_to = move |grads: &mut [Option<Tensor>], v: Var, delta: Tensor| {
@@ -328,6 +662,28 @@ impl Tape {
                 slot @ None => *slot = Some(delta),
             }
         };
+        // Per-segment counterpart of `add_to`: partials land in the seg slot
+        // for (node, segment) with the same Some/None accumulate semantics,
+        // so each segment's fold is exactly the per-sample fold.
+        let add_seg = move |seg: &mut [Option<Vec<Option<Tensor>>>],
+                            v: Var,
+                            s: usize,
+                            n_seg: usize,
+                            delta: Tensor| {
+            debug_assert!(
+                poisoned || delta.all_finite(),
+                "non-finite seg partial for node {} on a clean tape",
+                v.0
+            );
+            // lint: allow(panic, reason = "operand Vars predate node i, see INVARIANT above")
+            let slots = seg[v.0].get_or_insert_with(|| (0..n_seg).map(|_| None).collect());
+            debug_assert_eq!(slots.len(), n_seg, "segment count mismatch across ops");
+            // lint: allow(panic, reason = "s < n_seg == slots.len() by construction")
+            match &mut slots[s] {
+                Some(existing) => existing.add_scaled(&delta, 1.0),
+                slot @ None => *slot = Some(delta),
+            }
+        };
         let node = &self.nodes[i]; // lint: allow(panic, reason = "i bounds-checked by the debug_assert above, see INVARIANT")
         match &node.op {
             Op::Leaf => {}
@@ -335,7 +691,9 @@ impl Tape {
                 let av = self.value(*a);
                 let bv = self.value(*b);
                 add_to(grads, *a, g.matmul(&bv.transpose()));
-                add_to(grads, *b, av.transpose().matmul(g));
+                // matmul_t_rows over the full row range is bitwise identical
+                // to `av.transpose().matmul(g)` minus the transpose copy.
+                add_to(grads, *b, av.matmul_t_rows(g, 0, av.rows()));
             }
             Op::Add(a, b) => {
                 add_to(grads, *a, g.clone());
@@ -409,6 +767,107 @@ impl Tape {
                 }
                 add_to(grads, *a, ga);
             }
+            Op::GatherRowsP(a, plan) => {
+                let rows = self.value(*a).rows();
+                let mut ga = Tensor::zeros(rows, g.cols());
+                for (r, &i) in plan.indices().iter().enumerate() {
+                    for c in 0..g.cols() {
+                        ga.set(i, c, ga.get(i, c) + g.get(r, c));
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::ScatterAddRowsP(a, plan) => {
+                let mut ga = Tensor::zeros(plan.len(), g.cols());
+                for (r, &i) in plan.indices().iter().enumerate() {
+                    ga.copy_row_from(r, g, i);
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::MulConstShared(a, c) => {
+                add_to(grads, *a, g.zip(c, |x, y| x * y));
+            }
+            Op::SegMatMul(a, b, plan) => {
+                let av = self.value(*a);
+                let bv = self.value(*b);
+                add_to(grads, *a, g.matmul(&bv.transpose()));
+                // Weight gradient per segment: the slice product
+                // a[lo..hi]^T * g[lo..hi] is exactly the per-sample
+                // `av.transpose().matmul(g)` for that sample's rows. Empty
+                // segments contribute nothing — matching a per-sample tape
+                // where the op simply would not exist.
+                let n_seg = plan.n_segments();
+                for s in 0..n_seg {
+                    let (lo, hi) = plan.range(s);
+                    if lo == hi {
+                        continue;
+                    }
+                    let gb = av.matmul_t_rows(g, lo, hi);
+                    add_seg(seg, *b, s, n_seg, gb);
+                }
+            }
+            Op::SegAddRow(a, b, plan) => {
+                add_to(grads, *a, g.clone());
+                // Bias gradient per segment: ascending-row column sums over
+                // that segment's rows — the per-sample AddRow fold.
+                let n_seg = plan.n_segments();
+                for s in 0..n_seg {
+                    let (lo, hi) = plan.range(s);
+                    if lo == hi {
+                        continue;
+                    }
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in lo..hi {
+                        for c in 0..g.cols() {
+                            gb.set(0, c, gb.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    add_seg(seg, *b, s, n_seg, gb);
+                }
+            }
+            Op::SegmentSum(a, plan) => {
+                let (rows, cols) = self.value(*a).shape();
+                let mut ga = Tensor::zeros(rows, cols);
+                for s in 0..plan.n_segments() {
+                    let (lo, hi) = plan.range(s);
+                    for r in lo..hi {
+                        ga.copy_row_from(r, g, s);
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::SegmentMean(a, plan) => {
+                let (rows, cols) = self.value(*a).shape();
+                let mut ga = Tensor::zeros(rows, cols);
+                for s in 0..plan.n_segments() {
+                    let (lo, hi) = plan.range(s);
+                    let n = (hi - lo) as f64;
+                    for r in lo..hi {
+                        for c in 0..cols {
+                            ga.set(r, c, g.get(s, c) / n);
+                        }
+                    }
+                }
+                add_to(grads, *a, ga);
+            }
+            Op::SegMse(p, target, plan) => {
+                let pv = self.value(*p);
+                let cols = pv.cols();
+                let mut gp = Tensor::zeros(pv.rows(), cols);
+                for s in 0..plan.n_segments() {
+                    let (lo, hi) = plan.range(s);
+                    let n = ((hi - lo) * cols) as f64;
+                    let gs = g.get(s, 0);
+                    for r in lo..hi {
+                        for c in 0..cols {
+                            // Same expression as the Mse arm below, with the
+                            // per-segment upstream scalar and element count.
+                            gp.set(r, c, 2.0 * (pv.get(r, c) - target.get(r, c)) * gs / n);
+                        }
+                    }
+                }
+                add_to(grads, *p, gp);
+            }
             Op::SumAll(a) => {
                 let s = g.get(0, 0);
                 let (r, c) = self.value(*a).shape();
@@ -441,12 +900,32 @@ impl Tape {
 /// Result of a backward pass.
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
+    /// Per-(node, segment) partials from segment-aware ops. Kept separate
+    /// from `grads` so each segment's accumulation order is exactly the
+    /// per-sample order — merging them into one slot would change the
+    /// floating-point fold.
+    seg: Vec<Option<Vec<Option<Tensor>>>>,
 }
 
 impl Gradients {
     /// Gradient of the loss w.r.t. node `v`, if it received any.
     pub fn get(&self, v: Var) -> Option<&Tensor> {
         self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Per-segment gradient of the loss w.r.t. node `v` restricted to
+    /// segment `s` (from `seg_matmul` / `seg_add_row`), if any.
+    pub fn seg_get(&self, v: Var, s: usize) -> Option<&Tensor> {
+        self.seg
+            .get(v.0)
+            .and_then(|o| o.as_ref())
+            .and_then(|slots| slots.get(s))
+            .and_then(|g| g.as_ref())
+    }
+
+    /// True if node `v` received any per-segment partials.
+    pub fn has_seg(&self, v: Var) -> bool {
+        self.seg.get(v.0).is_some_and(|o| o.is_some())
     }
 }
 
@@ -734,5 +1213,193 @@ mod tests {
         let grads = tape.backward(l);
         assert!(grads.get(unused).is_none());
         assert!(grads.get(a).is_some());
+    }
+
+    #[test]
+    fn grad_segment_sum_and_mean() {
+        let a = rand_t(5, 3, 30);
+        let seg = SegmentPlan::from_lens(&[2, 3]);
+        let s2 = seg.clone();
+        grad_check(
+            move |tape, _| {
+                let va = Var(0);
+                let y = tape.segment_sum(va, &s2);
+                let z = tape.tanh(y);
+                tape.sum_all(z)
+            },
+            std::slice::from_ref(&a),
+            1e-6,
+        );
+        let s3 = seg.clone();
+        grad_check(
+            move |tape, _| {
+                let va = Var(0);
+                let y = tape.segment_mean(va, &s3);
+                tape.mean_all(y)
+            },
+            &[a],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn plan_ops_match_vec_ops_bitwise() {
+        let a = rand_t(4, 3, 31);
+        let idx = vec![0, 2, 2, 3, 1];
+        let scat = vec![1, 0, 1, 2, 2];
+
+        let mut t1 = Tape::new();
+        let va1 = t1.leaf(a.clone());
+        let g1 = t1.gather_rows(va1, idx.clone());
+        let s1 = t1.scatter_add_rows(g1, scat.clone(), 3);
+        let l1 = t1.sum_all(s1);
+        let gr1 = t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let va2 = t2.leaf(a.clone());
+        let g2 = t2.gather_rows_plan(va2, &IndexPlan::new(idx));
+        let s2 = t2.scatter_add_rows_plan(g2, &IndexPlan::new(scat), 3);
+        let l2 = t2.sum_all(s2);
+        let gr2 = t2.backward(l2);
+
+        assert_eq!(t1.value(s1), t2.value(s2));
+        assert_eq!(gr1.get(va1), gr2.get(va2));
+    }
+
+    #[test]
+    fn mul_const_shared_matches_mul_const() {
+        let a = rand_t(3, 2, 32);
+        let mask = Tensor::from_fn(3, 2, |r, c| if (r + c) % 2 == 0 { 1.0 } else { 0.25 });
+        let mut t1 = Tape::new();
+        let va1 = t1.leaf(a.clone());
+        let m1 = t1.mul_const(va1, &mask);
+        let l1 = t1.sum_all(m1);
+        let gr1 = t1.backward(l1);
+
+        let shared = Arc::new(mask);
+        let mut t2 = Tape::new();
+        let va2 = t2.leaf(a);
+        let m2 = t2.mul_const_shared(va2, &shared);
+        let l2 = t2.sum_all(m2);
+        let gr2 = t2.backward(l2);
+
+        assert_eq!(t1.value(m1), t2.value(m2));
+        assert_eq!(gr1.get(va1), gr2.get(va2));
+    }
+
+    /// The load-bearing batched-kernel guarantee at the op level: a
+    /// seg_matmul/seg_add_row/seg_mse pipeline over concatenated samples
+    /// produces, per segment, bitwise the values and gradients of running
+    /// each sample through matmul/add_row/mse on its own tape.
+    #[test]
+    fn seg_ops_match_per_sample_ops_bitwise() {
+        let lens = [3usize, 0, 2, 4];
+        let total: usize = lens.iter().sum();
+        let x = rand_t(total, 3, 40);
+        let w = rand_t(3, 2, 41);
+        let b = rand_t(1, 2, 42);
+        let target = rand_t(total, 2, 43);
+        let seg = SegmentPlan::from_lens(&lens);
+
+        // Batched: one tape over all rows.
+        let mut bt = Tape::new();
+        let vx = bt.leaf(x.clone());
+        let vw = bt.leaf(w.clone());
+        let vb = bt.leaf(b.clone());
+        let mm = bt.seg_matmul(vx, vw, &seg);
+        let biased = bt.seg_add_row(mm, vb, &seg);
+        // seg_mse requires non-empty segments: fold only the active ones.
+        let active: Vec<usize> = lens.iter().copied().filter(|&l| l > 0).collect();
+        let aseg = SegmentPlan::from_lens(&active);
+        let losses = bt.seg_mse(biased, &target, &aseg);
+        let l = bt.sum_all(losses);
+        let bgrads = bt.backward(l);
+
+        // Per-sample: one tape per non-empty segment.
+        let mut ai = 0usize;
+        for s in 0..seg.n_segments() {
+            let (lo, hi) = seg.range(s);
+            if lo == hi {
+                assert!(bgrads.seg_get(vw, s).is_none());
+                assert!(bgrads.seg_get(vb, s).is_none());
+                continue;
+            }
+            let mut pt = Tape::new();
+            let px = pt.leaf(x.rows_copy(lo, hi));
+            let pw = pt.leaf(w.clone());
+            let pb = pt.leaf(b.clone());
+            let pmm = pt.matmul(px, pw);
+            let pbiased = pt.add_row(pmm, pb);
+            let ploss = pt.mse(pbiased, &target.rows_copy(lo, hi));
+            let pgrads = pt.backward(ploss);
+
+            // Forward values bit-identical.
+            assert_eq!(
+                &bt.value(biased).rows_copy(lo, hi),
+                pt.value(pbiased),
+                "segment {s} forward mismatch"
+            );
+            assert_eq!(
+                bt.value(losses).get(ai, 0),
+                pt.value(ploss).get(0, 0),
+                "segment {s} loss mismatch"
+            );
+            // Per-segment weight/bias gradients bit-identical.
+            assert_eq!(
+                bgrads.seg_get(vw, s).unwrap(),
+                pgrads.get(pw).unwrap(),
+                "segment {s} weight grad mismatch"
+            );
+            assert_eq!(
+                bgrads.seg_get(vb, s).unwrap(),
+                pgrads.get(pb).unwrap(),
+                "segment {s} bias grad mismatch"
+            );
+            // Data gradient rows bit-identical.
+            assert_eq!(
+                &bgrads.get(vx).unwrap().rows_copy(lo, hi),
+                pgrads.get(px).unwrap(),
+                "segment {s} input grad mismatch"
+            );
+            ai += 1;
+        }
+        assert!(bgrads.has_seg(vw) && bgrads.has_seg(vb));
+        assert!(!bgrads.has_seg(vx));
+    }
+
+    /// Arena contract: after the first pass, replaying the same op sequence
+    /// through `reset` allocates every value buffer from the pool.
+    #[test]
+    fn reset_recycles_all_value_buffers() {
+        let x = rand_t(6, 4, 50);
+        let w = rand_t(4, 3, 51);
+        let run = |tape: &mut Tape| {
+            let vx = tape.leaf_copied(&x);
+            let vw = tape.leaf_copied(&w);
+            let mm = tape.matmul(vx, vw);
+            let act = tape.tanh(mm);
+            let l = tape.mean_all(act);
+            tape.value(l).get(0, 0)
+        };
+        let mut tape = Tape::new();
+        let first = run(&mut tape);
+        let nodes = tape.len();
+        let misses_after_first = tape.reuse_misses();
+        for _ in 0..5 {
+            tape.reset();
+            let again = run(&mut tape);
+            assert_eq!(first.to_bits(), again.to_bits());
+        }
+        // Every node value in every replay came from the pool.
+        assert_eq!(tape.reuse_misses(), misses_after_first);
+        assert_eq!(tape.reuse_hits(), 5 * nodes as u64);
+        assert_eq!(tape.max_nodes(), nodes);
+        assert!(tape.max_scalars() > 0);
+        // Poison state clears on reset.
+        let mut t = Tape::new();
+        t.leaf(Tensor::from_vec(1, 1, vec![f64::NAN]));
+        assert!(t.poisoned());
+        t.reset();
+        assert!(!t.poisoned());
     }
 }

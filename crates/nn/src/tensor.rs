@@ -51,6 +51,40 @@ impl Tensor {
         Tensor { rows, cols, data }
     }
 
+    /// Build a zeroed `rows x cols` tensor reusing `buf`'s capacity.
+    ///
+    /// The arena primitive: a buffer recycled through `Tape::reset` re-enters
+    /// the graph here without a fresh heap allocation (as long as its
+    /// capacity suffices). Contents are cleared to exact `+0.0`.
+    pub fn from_buffer(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Tensor {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
+    /// Consume the tensor, yielding its backing buffer for reuse.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Copy of the half-open row range `[lo, hi)` as a new `hi-lo x cols`
+    /// tensor. Used by segment-aware backward passes to slice one sample's
+    /// row block out of a batched activation.
+    pub fn rows_copy(&self, lo: usize, hi: usize) -> Tensor {
+        assert!(lo <= hi && hi <= self.rows, "rows_copy range out of bounds");
+        let mut data = Vec::with_capacity((hi - lo) * self.cols);
+        data.extend_from_slice(&self.data[lo * self.cols..hi * self.cols]);
+        Tensor {
+            rows: hi - lo,
+            cols: self.cols,
+            data,
+        }
+    }
+
     /// A `1 x n` row vector.
     pub fn row_vector(data: Vec<f64>) -> Self {
         let n = data.len();
@@ -143,6 +177,15 @@ impl Tensor {
 
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into `out` (which must already be
+    /// a zeroed `self.rows x rhs.cols` tensor). Single implementation shared
+    /// with `matmul` so pooled and non-pooled paths are bitwise identical.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -150,12 +193,49 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul_into output shape mismatch"
+        );
         // i-k-j loop order: contiguous access on rhs and out rows.
         for i in 0..self.rows {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
+                // lint: allow(float-eq, reason = "exact-zero sparsity skip; any nonzero magnitude must multiply")
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Row-sliced transposed product: `self[lo..hi]^T * rhs[lo..hi]`,
+    /// bitwise identical to
+    /// `self.rows_copy(lo, hi).transpose().matmul(&rhs.rows_copy(lo, hi))`
+    /// without materializing the slices or the transpose. This is the
+    /// per-segment weight-gradient kernel of the batched backward pass
+    /// (`Op::SegMatMul`), where the copies would dominate.
+    pub fn matmul_t_rows(&self, rhs: &Tensor, lo: usize, hi: usize) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "matmul_t_rows row count mismatch");
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "matmul_t_rows range out of bounds"
+        );
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        // i-k-j order over the *transposed* slice: k walks rows lo..hi
+        // ascending — the same accumulation order (and the same exact-zero
+        // sparsity skip) as the copy/transpose/matmul chain, so the result
+        // is bitwise identical to the per-sample path.
+        for i in 0..self.cols {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in lo..hi {
+                let a = self.data[k * self.cols + i];
                 // lint: allow(float-eq, reason = "exact-zero sparsity skip; any nonzero magnitude must multiply")
                 if a == 0.0 {
                     continue;
@@ -293,6 +373,20 @@ mod tests {
     }
 
     #[test]
+    fn matmul_t_rows_matches_copy_transpose_matmul() {
+        let a = Tensor::from_fn(7, 4, |r, c| ((r * 13 + c * 5) % 11) as f64 - 3.7);
+        let g = Tensor::from_fn(7, 3, |r, c| ((r * 7 + c * 17) % 9) as f64 * 0.31);
+        for (lo, hi) in [(0, 7), (2, 5), (3, 3), (0, 1)] {
+            let fast = a.matmul_t_rows(&g, lo, hi);
+            let slow = a.rows_copy(lo, hi).transpose().matmul(&g.rows_copy(lo, hi));
+            assert_eq!(fast.shape(), slow.shape());
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn transpose_involution() {
         let a = Tensor::from_fn(2, 4, |r, c| (r * 7 + c * 3) as f64);
         assert_eq!(a.transpose().transpose(), a);
@@ -340,6 +434,38 @@ mod tests {
         dst.copy_row_from(1, &src, 2);
         assert_eq!(dst.row(0), &[0.0, 0.0]);
         assert_eq!(dst.row(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn from_buffer_reuses_capacity_and_zeroes() {
+        let buf = vec![5.0; 12];
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        let t = Tensor::from_buffer(2, 3, buf);
+        assert_eq!(t.shape(), (2, 3));
+        assert!(t.data().iter().all(|&x| x == 0.0 && x.is_sign_positive()));
+        let back = t.into_data();
+        assert_eq!(back.capacity(), cap);
+        assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn rows_copy_slices_row_block() {
+        let t = Tensor::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        let mid = t.rows_copy(1, 3);
+        assert_eq!(mid.shape(), (2, 2));
+        assert_eq!(mid.data(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.rows_copy(2, 2).shape(), (0, 2));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Tensor::from_fn(3, 4, |r, c| (r as f64 - c as f64) * 0.37);
+        let b = Tensor::from_fn(4, 2, |r, c| (r * 2 + c) as f64 * 0.11);
+        let via_alloc = a.matmul(&b);
+        let mut out = Tensor::zeros(3, 2);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(via_alloc, out);
     }
 
     #[test]

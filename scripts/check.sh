@@ -103,4 +103,17 @@ cargo run -q --release -p routenet-obs --bin validate-telemetry -- \
 cargo test -q --release -p routenet-simnet --test telemetry_overhead \
     -- --ignored
 
+# Batched-kernel equivalence smoke test: training on the batched CSR path
+# and on the sequential per-sample path (--sequential) must produce
+# byte-identical model artifacts (see DESIGN.md "Batched execution & memory
+# arenas" — segment order in sample order is the determinism contract).
+step "batched vs sequential equivalence smoke test"
+cargo run -q --release -p routenet-bench --bin train-model -- \
+    --train "$TELDIR/train.jsonl" --lenient --epochs 2 \
+    --out "$TELDIR/model-batched.json" --no-telemetry >/dev/null
+cargo run -q --release -p routenet-bench --bin train-model -- \
+    --train "$TELDIR/train.jsonl" --lenient --epochs 2 --sequential \
+    --out "$TELDIR/model-sequential.json" --no-telemetry >/dev/null
+cmp "$TELDIR/model-batched.json" "$TELDIR/model-sequential.json"
+
 step "all checks passed"

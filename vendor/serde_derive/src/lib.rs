@@ -2,17 +2,29 @@
 //!
 //! The offline build rules out `syn`/`quote`, so the item is parsed directly
 //! from the `proc_macro` token stream: attributes are scanned for
-//! `#[serde(skip)]` / `#[serde(default)]`, field and variant shapes are
+//! `#[serde(skip)]` / `#[serde(default)]` / `#[serde(default = "path")]`,
+//! field and variant shapes are
 //! extracted, and the impl is emitted as a string and re-parsed. Supported
 //! shapes — all the suite needs — are non-generic structs (named, tuple,
 //! unit) and enums with unit, tuple, and struct variants.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How to fill a field that is absent from the serialized object.
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// No fallback: a missing field is a deserialization error.
+    Required,
+    /// `#[serde(default)]`: fall back to `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: fall back to calling `path()`.
+    Path(String),
+}
+
 struct Field {
     name: String,
     skip: bool,
-    default: bool,
+    default: FieldDefault,
 }
 
 enum Fields {
@@ -62,32 +74,47 @@ fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
 // ---------------------------------------------------------------- parsing
 
 /// `(skip, default)` flags from one `#[serde(...)]` attribute body.
-fn serde_flags(attr_body: &TokenStream) -> (bool, bool) {
+fn serde_flags(attr_body: &TokenStream) -> (bool, FieldDefault) {
     let mut toks = attr_body.clone().into_iter();
     let is_serde = matches!(toks.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
     if !is_serde {
-        return (false, false);
+        return (false, FieldDefault::Required);
     }
     let Some(TokenTree::Group(args)) = toks.next() else {
-        return (false, false);
+        return (false, FieldDefault::Required);
     };
     let mut skip = false;
-    let mut default = false;
-    for t in args.stream() {
-        if let TokenTree::Ident(id) = t {
+    let mut default = FieldDefault::Required;
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let TokenTree::Ident(id) = &args[j] {
             match id.to_string().as_str() {
                 "skip" => skip = true,
-                "default" => default = true,
+                "default" => {
+                    // `default = "path"` names a fn to call; bare `default`
+                    // means `Default::default()`.
+                    let eq = matches!(args.get(j + 1),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                    if let (true, Some(TokenTree::Literal(lit))) = (eq, args.get(j + 2)) {
+                        let path = lit.to_string();
+                        default = FieldDefault::Path(path.trim_matches('"').to_string());
+                        j += 2;
+                    } else {
+                        default = FieldDefault::Std;
+                    }
+                }
                 _ => {}
             }
         }
+        j += 1;
     }
     (skip, default)
 }
 
-/// Advance past attributes, ORing any serde flags found into the result.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
-    let mut flags = (false, false);
+/// Advance past attributes, merging any serde flags found into the result.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, FieldDefault) {
+    let mut flags = (false, FieldDefault::Required);
     while *i + 1 < tokens.len() {
         let TokenTree::Punct(p) = &tokens[*i] else {
             break;
@@ -103,7 +130,9 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
         }
         let (s, d) = serde_flags(&g.stream());
         flags.0 |= s;
-        flags.1 |= d;
+        if d != FieldDefault::Required {
+            flags.1 = d;
+        }
         *i += 2;
     }
     flags
@@ -354,13 +383,15 @@ fn named_field_init(ty: &str, f: &Field, src: &str) -> String {
     if f.skip {
         return format!("{fname}: ::std::default::Default::default(),\n");
     }
-    let on_missing = if f.default {
-        "::std::default::Default::default()".to_string()
-    } else {
-        format!(
+    let on_missing = match &f.default {
+        FieldDefault::Std => "::std::default::Default::default()".to_string(),
+        // Emitted at the derive site, so a bare fn name resolves in the
+        // module that defines the struct — same as real serde.
+        FieldDefault::Path(path) => format!("{path}()"),
+        FieldDefault::Required => format!(
             "return ::std::result::Result::Err(::serde::DeError::missing_field(\
              \"{ty}\", \"{fname}\"))"
-        )
+        ),
     };
     format!(
         "{fname}: match {src}.field(\"{fname}\") {{\n\
