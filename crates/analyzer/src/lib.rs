@@ -15,6 +15,7 @@
 pub mod callgraph;
 pub mod concurrency;
 pub mod lexer;
+pub mod numeric;
 pub mod parse;
 pub mod rules;
 
@@ -71,6 +72,25 @@ const MUST_USE_CRATES: &[&str] = &[
 /// (they wire the seam up), as is `routenet-faults` itself (it *is* the
 /// seam).
 const IO_SEAM_CRATES: &[&str] = &["crates/core/", "crates/dataset/", "crates/obs/"];
+
+/// Files under the RN4xx numeric-dataflow audit: the measurement and kernel
+/// code where a seconds-vs-bits/s slip or an unguarded division corrupts
+/// labels, features, or the loss (see `numeric` module docs). Unit
+/// annotations and the NaN-taint fixed point are still collected
+/// workspace-wide; this list only scopes where findings are *reported*.
+pub const NUMERIC_PATHS: &[&str] = &[
+    "crates/simnet/src/stats.rs",
+    "crates/simnet/src/sim.rs",
+    "crates/simnet/src/queueing.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/eval.rs",
+    "crates/core/src/features.rs",
+    "crates/core/src/sample.rs",
+    "crates/core/src/baseline.rs",
+    "crates/dataset/src/gen.rs",
+    "crates/nn/src/tape.rs",
+    "crates/netgraph/src/traffic.rs",
+];
 
 /// Directory components that exclude a file from analysis entirely.
 const SKIP_DIRS: &[&str] = &[
@@ -173,13 +193,15 @@ impl Report {
 
     /// Machine-readable JSON rendering (hand-rolled: this crate is
     /// dependency-free so it can never be broken by the code it audits).
-    /// Schema: `analyzer-report v3` — adds a per-rule count breakdown
-    /// (`summary.by_rule`, registry order, nonzero rules only) over v2,
-    /// which added stable rule IDs, severities, and a summary block over v1.
+    /// Schema: `analyzer-report v4` — adds a severity breakdown
+    /// (`summary.by_severity`, deny/warn keys always present) over v3,
+    /// which added a per-rule count breakdown (`summary.by_rule`, registry
+    /// order, nonzero rules only) over v2, which added stable rule IDs,
+    /// severities, and a summary block over v1.
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"schema\": \"analyzer-report\",\n  \"version\": 3,\n  \"files_scanned\": {},\n",
+            "  \"schema\": \"analyzer-report\",\n  \"version\": 4,\n  \"files_scanned\": {},\n",
             self.files_scanned
         ));
         let by_rule: Vec<(&str, usize)> = rules::RULE_NAMES
@@ -193,11 +215,13 @@ impl Report {
             .collect::<Vec<_>>()
             .join(", ");
         out.push_str(&format!(
-            "  \"summary\": {{\"diagnostics\": {}, \"deny\": {}, \"warn\": {}, \"baselined\": {}, \"by_rule\": {{{by_rule_json}}}}},\n",
+            "  \"summary\": {{\"diagnostics\": {}, \"deny\": {}, \"warn\": {}, \"baselined\": {}, \"by_severity\": {{\"deny\": {}, \"warn\": {}}}, \"by_rule\": {{{by_rule_json}}}}},\n",
             self.diagnostics.len(),
             self.deny_count(),
             self.warn_count(),
             self.baselined,
+            self.deny_count(),
+            self.warn_count(),
         ));
         out.push_str("  \"diagnostics\": [\n");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -405,6 +429,30 @@ pub fn analyze_workspace_filtered(
     root: &Path,
     only: Option<&[String]>,
 ) -> Result<Report, AnalyzeError> {
+    let sources = load_workspace_sources(root)?;
+    let graph = callgraph::CallGraph::build(&sources);
+    let units = numeric::UnitEnv::build(&sources);
+    let mut report = Report::default();
+    for (rel, source) in &sources {
+        if let Some(filter) = only {
+            if !filter.iter().any(|f| f == rel) {
+                continue;
+            }
+        }
+        let rules = rules_for(rel);
+        let file = rules::analyze_source_with(rel, source, rules, Some(&graph), Some(&units));
+        report.files_scanned += 1;
+        report.diagnostics.extend(file.diagnostics);
+        report.invariants.extend(file.invariants);
+        report.allows.extend(file.allows);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Read every analyzable `.rs` file under `root` as
+/// `(workspace-relative path, source text)` pairs, sorted by path.
+fn load_workspace_sources(root: &Path) -> Result<Vec<(String, String)>, AnalyzeError> {
     let mut files = Vec::new();
     for base in ["src", "crates"] {
         let dir = root.join(base);
@@ -425,23 +473,47 @@ pub fn analyze_workspace_filtered(
         })?;
         sources.push((rel, source));
     }
+    Ok(sources)
+}
+
+/// Expand a changed-file list with every file that transitively *calls* a
+/// function defined in one of the changed files. Interprocedural rules
+/// (RN2xx lock/RNG evidence, RN4xx unit and NaN propagation) report at the
+/// call site, so editing only a callee's body must re-surface findings in
+/// its unchanged callers — `--changed-only` scans this closure, not the raw
+/// diff. Resolution is by name (simple and `Type::name`), matching the call
+/// graph's own semantics; the returned list is sorted and deduplicated.
+#[must_use = "the expanded closure drives which files are scanned and baselined"]
+pub fn expand_changed_files(root: &Path, changed: &[String]) -> Result<Vec<String>, AnalyzeError> {
+    let sources = load_workspace_sources(root)?;
     let graph = callgraph::CallGraph::build(&sources);
-    let mut report = Report::default();
-    for (rel, source) in &sources {
-        if let Some(filter) = only {
-            if !filter.iter().any(|f| f == rel) {
+    let mut included: Vec<String> = changed.to_vec();
+    included.sort();
+    included.dedup();
+    loop {
+        let mut grew = false;
+        for node in graph.nodes() {
+            if included.binary_search(&node.file).is_ok() {
                 continue;
             }
+            let pulls_changed_callee = node.calls.iter().any(|callee| {
+                graph.nodes().iter().any(|def| {
+                    (def.name == *callee || def.qualified.as_deref() == Some(callee.as_str()))
+                        && included.binary_search(&def.file).is_ok()
+                })
+            });
+            if pulls_changed_callee {
+                if let Err(i) = included.binary_search(&node.file) {
+                    included.insert(i, node.file.clone());
+                    grew = true;
+                }
+            }
         }
-        let rules = rules_for(rel);
-        let file = rules::analyze_source_with(rel, source, rules, Some(&graph));
-        report.files_scanned += 1;
-        report.diagnostics.extend(file.diagnostics);
-        report.invariants.extend(file.invariants);
-        report.allows.extend(file.allows);
+        if !grew {
+            break;
+        }
     }
-    report.sort();
-    Ok(report)
+    Ok(included)
 }
 
 /// Analyze explicit paths with every rule enabled (fixture mode). The call
@@ -457,9 +529,11 @@ pub fn analyze_paths(paths: &[PathBuf]) -> Result<Report, AnalyzeError> {
         sources.push((rel, source));
     }
     let graph = callgraph::CallGraph::build(&sources);
+    let units = numeric::UnitEnv::build(&sources);
     let mut report = Report::default();
     for (rel, source) in &sources {
-        let file = rules::analyze_source_with(rel, source, RuleSet::all(), Some(&graph));
+        let file =
+            rules::analyze_source_with(rel, source, RuleSet::all(), Some(&graph), Some(&units));
         report.files_scanned += 1;
         report.diagnostics.extend(file.diagnostics);
         report.invariants.extend(file.invariants);
@@ -489,6 +563,7 @@ fn rules_for(rel: &str) -> RuleSet {
     rules.must_use = !is_bin && MUST_USE_CRATES.iter().any(|c| rel.starts_with(c));
     rules.error_discard = !is_bin;
     rules.io_seam = !is_bin && IO_SEAM_CRATES.iter().any(|c| rel.starts_with(c));
+    rules.numeric = NUMERIC_PATHS.iter().any(|h| rel.ends_with(h));
     rules
 }
 
@@ -578,6 +653,12 @@ mod tests {
         assert!(!rules_for("crates/obs/src/bin/validate-telemetry.rs").io_seam);
         assert!(!rules_for("crates/faults/src/fs.rs").io_seam);
         assert!(!rules_for("crates/nn/src/tensor.rs").io_seam);
+        // numeric: the measurement/kernel files only.
+        assert!(rules_for("crates/simnet/src/sim.rs").numeric);
+        assert!(rules_for("crates/core/src/metrics.rs").numeric);
+        assert!(rules_for("crates/nn/src/tape.rs").numeric);
+        assert!(!rules_for("crates/core/src/model.rs").numeric);
+        assert!(!rules_for("crates/obs/src/lib.rs").numeric);
     }
 
     #[test]
@@ -594,8 +675,9 @@ mod tests {
         ));
         let j = r.json();
         assert!(j.contains("\"schema\": \"analyzer-report\""));
-        assert!(j.contains("\"version\": 3"));
+        assert!(j.contains("\"version\": 4"));
         assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"by_severity\": {\"deny\": 1, \"warn\": 0}"));
         assert!(j.contains("\"by_rule\": {\"panic\": 1}"));
         assert!(j.contains("\"id\": \"RN001\""));
         assert!(j.contains("\"severity\": \"deny\""));

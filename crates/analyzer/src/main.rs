@@ -9,15 +9,19 @@
 //!
 //! `--changed-only` restricts the rule passes to files reported changed by
 //! `git diff --name-only HEAD` plus untracked files — the fast pre-commit
-//! loop. The call graph is still built over the whole workspace, so
-//! transitive RN2xx evidence is identical to a full run.
+//! loop. The call graph and unit environment are still built over the whole
+//! workspace, and the changed set is expanded with every transitive *caller*
+//! file of the changed functions: interprocedural RN2xx/RN4xx findings
+//! report at the call site, so a callee-body edit must re-surface them in
+//! callers the diff did not touch.
 //!
 //! Exit codes: 0 clean (no deny-level findings after baseline subtraction),
 //! 1 deny-level findings or a stale baseline, 2 usage or I/O error.
 
 use routenet_analyzer::rules::{Severity, RULE_NAMES};
 use routenet_analyzer::{
-    analyze_paths, analyze_workspace_filtered, find_workspace_root, Baseline, Report,
+    analyze_paths, analyze_workspace_filtered, expand_changed_files, find_workspace_root, Baseline,
+    Report,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -191,7 +195,23 @@ fn main() -> ExitCode {
             }
         };
         match git_changed_files(&root) {
-            Ok(files) => Some(files),
+            Ok(files) if files.is_empty() => Some(files),
+            Ok(files) => match expand_changed_files(&root, &files) {
+                Ok(expanded) => {
+                    let dependents = expanded.len().saturating_sub(files.len());
+                    if dependents > 0 {
+                        eprintln!(
+                            "changed-only: {} changed file(s) + {dependents} dependent caller file(s)",
+                            files.len()
+                        );
+                    }
+                    Some(expanded)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             Err(msg) => {
                 eprintln!("error: {msg}");
                 return ExitCode::from(2);

@@ -145,6 +145,36 @@ pub const RULES: &[RuleInfo] = &[
         id: "RN301",
         default_severity: Severity::Deny,
     },
+    RuleInfo {
+        name: "unit-mismatch",
+        id: "RN401",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "unit-dimension",
+        id: "RN402",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "unit-sink",
+        id: "RN403",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "nan-div",
+        id: "RN404",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "nan-domain",
+        id: "RN405",
+        default_severity: Severity::Deny,
+    },
+    RuleInfo {
+        name: "nan-sink",
+        id: "RN406",
+        default_severity: Severity::Deny,
+    },
 ];
 
 /// All rule names, in registry order.
@@ -165,6 +195,12 @@ pub const RULE_NAMES: &[&str] = &[
     "hot-loop-lock",
     "relaxed-publish",
     "io-seam",
+    "unit-mismatch",
+    "unit-dimension",
+    "unit-sink",
+    "nan-div",
+    "nan-domain",
+    "nan-sink",
 ];
 
 /// Registry entry for `rule` (`None` for unknown names).
@@ -273,6 +309,9 @@ pub struct RuleSet {
     /// RN301: flag direct `std::fs` / `File` / `OpenOptions` use in the
     /// IO-seam crates — their library code must go through `routenet-faults`.
     pub io_seam: bool,
+    /// RN401–RN406: numeric dataflow (unit/dimension inference and
+    /// NaN-taint) in the measurement and kernel files.
+    pub numeric: bool,
 }
 
 impl RuleSet {
@@ -292,6 +331,7 @@ impl RuleSet {
             concurrency: true,
             hot_loop_lock: true,
             io_seam: true,
+            numeric: true,
         }
     }
 
@@ -306,6 +346,7 @@ impl RuleSet {
             hot_loop_alloc: false,
             hot_loop_lock: false,
             io_seam: false,
+            numeric: false,
             ..RuleSet::all()
         }
     }
@@ -338,6 +379,8 @@ impl RuleSet {
             | "relaxed-publish" => self.concurrency,
             "hot-loop-lock" => self.hot_loop_lock,
             "io-seam" => self.io_seam,
+            "unit-mismatch" | "unit-dimension" | "unit-sink" | "nan-div" | "nan-domain"
+            | "nan-sink" => self.numeric,
             "lint-syntax" | "lint-stale" => true,
             _ => false,
         }
@@ -358,16 +401,21 @@ pub struct FileReport {
 /// Analyze one file's source text (no call-graph context: the RN203/RN204
 /// transitive checks fall back to direct evidence only).
 pub fn analyze_source(file: &str, source: &str, rules: RuleSet) -> FileReport {
-    analyze_source_with(file, source, rules, None)
+    analyze_source_with(file, source, rules, None, None)
 }
 
 /// Analyze one file's source text with optional workspace call-graph
-/// context for the transitive RN2xx checks.
+/// context for the transitive RN2xx checks and optional workspace unit
+/// environment for the RN4xx numeric-dataflow checks. When `units` is
+/// `None` and the numeric family is enabled, a single-file environment is
+/// built from this source alone (cross-call inference degrades to
+/// same-file calls only).
 pub fn analyze_source_with(
     file: &str,
     source: &str,
     rules: RuleSet,
     graph: Option<&crate::callgraph::CallGraph>,
+    units: Option<&crate::numeric::UnitEnv>,
 ) -> FileReport {
     let lexed = crate::lexer::lex(source);
     let test_spans = test_mod_spans(&lexed.tokens);
@@ -405,6 +453,15 @@ pub fn analyze_source_with(
     }
     if rules.concurrency || rules.hot_loop_lock {
         crate::concurrency::concurrency_rules(file, &lexed.tokens, &parsed, graph, rules, &mut raw);
+    }
+    if rules.numeric {
+        match units {
+            Some(env) => crate::numeric::numeric_rules(file, &lexed, &fns, env, &mut raw),
+            None => {
+                let env = crate::numeric::UnitEnv::build(&[(file.to_string(), source.to_string())]);
+                crate::numeric::numeric_rules(file, &lexed, &fns, &env, &mut raw);
+            }
+        }
     }
 
     let mut invariants = Vec::new();
@@ -611,7 +668,7 @@ fn parse_allow(text: &str) -> Result<(String, String), String> {
     let rule = rule.trim().to_string();
     if !RULE_NAMES.contains(&rule.as_str()) {
         return Err(format!(
-            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc, parallel-shared-mut, parallel-float-reduce, parallel-rng, hot-loop-lock, relaxed-publish, io-seam)"
+            "unknown lint rule `{rule}` (known: panic, float-eq, nan, cast, invariant, determinism, error-discard, hot-loop-alloc, parallel-shared-mut, parallel-float-reduce, parallel-rng, hot-loop-lock, relaxed-publish, io-seam, unit-mismatch, unit-dimension, unit-sink, nan-div, nan-domain, nan-sink)"
         ));
     }
     let reason = rest

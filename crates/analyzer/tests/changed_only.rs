@@ -1,0 +1,159 @@
+//! Cross-file contract behind `--changed-only`: the call graph and unit
+//! environment are built over the whole workspace, and the changed set is
+//! expanded with transitive caller files. Interprocedural RN2xx/RN4xx
+//! findings report at the *call site*, so editing only a callee's body must
+//! re-surface findings in caller files the diff never touched.
+//!
+//! The tests build a tiny synthetic workspace in a temp dir. The caller file
+//! is byte-identical in both scenarios; only the callee body differs.
+
+use routenet_analyzer::{analyze_workspace_filtered, expand_changed_files};
+use std::fs;
+use std::path::PathBuf;
+
+/// Caller file, placed at a numeric-scoped path. Never edited: every finding
+/// asserted below is driven purely by callee-side evidence.
+const CALLER: &str = r#"//! Synthetic measurement module.
+
+use crate::helpers::{draw_jitter, mean_delay};
+
+pub struct Telemetry {
+    /// unit: s
+    pub last_s: f64,
+}
+
+impl Telemetry {
+    pub fn observe_s(&mut self, v: f64) {
+        self.last_s = v;
+    }
+}
+
+pub fn record(t: &mut Telemetry, sum_s: f64, n: f64) {
+    let v = mean_delay(sum_s, n);
+    t.observe_s(v);
+}
+
+pub fn fan_out(scope: &Scope) {
+    scope.spawn(move |_| {
+        let j = draw_jitter(7);
+        j
+    });
+}
+"#;
+
+/// Callee with a guarded division and a self-seeded RNG stream: no evidence
+/// reaches the caller.
+const CALLEE_CLEAN: &str = r#"//! Callee bodies (the edited file).
+
+pub fn mean_delay(sum_s: f64, n: f64) -> f64 {
+    let count = n.max(1.0);
+    sum_s / count
+}
+
+pub fn draw_jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}
+"#;
+
+/// The same callees after a careless edit: an unguarded denominator (NaN can
+/// now flow into the caller's telemetry sink) and a draw from an ambient RNG
+/// stream (schedule-dependent inside the caller's spawn).
+const CALLEE_BUGGY: &str = r#"//! Callee bodies (the edited file).
+
+pub fn mean_delay(sum_s: f64, n: f64) -> f64 {
+    sum_s / n
+}
+
+pub fn draw_jitter(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.0..1.0)
+}
+"#;
+
+const CALLER_REL: &str = "crates/simnet/src/stats.rs";
+const CALLEE_REL: &str = "crates/simnet/src/helpers.rs";
+
+fn build_workspace(tag: &str, callee: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "analyzer-changed-only-{tag}-{}",
+        std::process::id()
+    ));
+    let src = root.join("crates/simnet/src");
+    fs::create_dir_all(&src).expect("temp workspace dirs");
+    fs::write(root.join(CALLER_REL), CALLER).expect("write caller");
+    fs::write(root.join(CALLEE_REL), callee).expect("write callee");
+    root
+}
+
+fn rules_in(report: &routenet_analyzer::Report, file: &str) -> Vec<(String, u32)> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == file)
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+#[test]
+fn callee_edit_resurfaces_findings_in_unchanged_caller() {
+    let root = build_workspace("buggy", CALLEE_BUGGY);
+
+    // The diff only lists the callee; the expansion must pull in the caller.
+    let changed = vec![CALLEE_REL.to_string()];
+    let expanded = expand_changed_files(&root, &changed).expect("expand");
+    assert!(
+        expanded.iter().any(|f| f == CALLER_REL),
+        "caller not pulled in: {expanded:?}"
+    );
+
+    let report = analyze_workspace_filtered(&root, Some(&expanded)).expect("scan");
+    let caller = rules_in(&report, CALLER_REL);
+    assert!(
+        caller.iter().any(|(r, _)| r == "nan-sink"),
+        "RN406 lost in caller: {caller:?}"
+    );
+    assert!(
+        caller.iter().any(|(r, _)| r == "parallel-rng"),
+        "RN203 lost in caller: {caller:?}"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn filter_scopes_reporting_not_evidence() {
+    let root = build_workspace("filtered", CALLEE_BUGGY);
+
+    // Scanning only the caller must see identical callee-side evidence:
+    // the filter scopes *reporting*, never the call graph or unit env.
+    let full = analyze_workspace_filtered(&root, None).expect("full scan");
+    let only = vec![CALLER_REL.to_string()];
+    let filtered = analyze_workspace_filtered(&root, Some(&only)).expect("filtered scan");
+    assert_eq!(
+        rules_in(&full, CALLER_REL),
+        rules_in(&filtered, CALLER_REL),
+        "filtered run saw different caller evidence than the full run"
+    );
+    assert!(
+        !rules_in(&filtered, CALLER_REL).is_empty(),
+        "expected caller findings driven by the buggy callee"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_callee_keeps_caller_silent() {
+    let root = build_workspace("clean", CALLEE_CLEAN);
+    let report = analyze_workspace_filtered(&root, None).expect("scan");
+    assert!(
+        report.diagnostics.is_empty(),
+        "unexpected findings: {:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.as_str(), d.rule, d.line))
+            .collect::<Vec<_>>()
+    );
+    let _ = fs::remove_dir_all(&root);
+}

@@ -324,6 +324,46 @@ fn io_seam_clean_fixture_passes() {
 }
 
 #[test]
+fn numeric_fixture_exact_diagnostics() {
+    let (out, stdout) = run_on_fixtures(&["numeric.rs"]);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "unit-mismatch"), 1, "stdout:\n{stdout}");
+    assert_eq!(
+        count_rule(&stdout, "unit-dimension"),
+        2,
+        "stdout:\n{stdout}"
+    );
+    assert_eq!(count_rule(&stdout, "unit-sink"), 1, "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "nan-div"), 2, "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "nan-domain"), 1, "stdout:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "nan-sink"), 1, "stdout:\n{stdout}");
+    for line in [
+        "numeric.rs:11:", // s + bit/s
+        "numeric.rs:15:", // tx_delay_s from bits * bit/s
+        "numeric.rs:21:", // utilization clamp masks an over-count (PR 4 bug shape)
+        "numeric.rs:25:", // unguarded capacity denominator
+        "numeric.rs:29:", // seconds into sigmoid
+        "numeric.rs:38:", // ln of an unguarded delay
+        "numeric.rs:49:", // unguarded packet-count denominator
+        "numeric.rs:50:", // possibly-NaN mean into a label struct
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    // The guarded division feeding the clamp must not double-report RN404.
+    assert!(
+        !stdout.contains("numeric.rs:21: [nan-div]"),
+        "asserted denominator flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn numeric_clean_fixture_passes() {
+    let (out, stdout) = run_on_fixtures(&["numeric_clean.rs"]);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
 fn deny_flag_escalates_warn_rules() {
     let path = fixture("hot_loop.rs");
     let out = run(&["--deny", "hot-loop-alloc", &path.to_string_lossy()]);
@@ -349,7 +389,8 @@ fn all_fixtures_total_count() {
         "clean.rs",
     ]);
     assert_eq!(out.status.code(), Some(1));
-    assert!(stdout.contains("19 diagnostic(s)"), "stdout:\n{stdout}");
+    // 19 legacy findings plus the RN404 division-by-literal-zero in floats.rs.
+    assert!(stdout.contains("20 diagnostic(s)"), "stdout:\n{stdout}");
     assert!(stdout.contains("6 file(s) scanned"), "stdout:\n{stdout}");
 }
 
@@ -416,7 +457,8 @@ fn json_report_is_emitted() {
         json.contains("\"schema\": \"analyzer-report\""),
         "json:\n{json}"
     );
-    assert!(json.contains("\"version\": 3"), "json:\n{json}");
+    assert!(json.contains("\"version\": 4"), "json:\n{json}");
+    assert!(json.contains("\"by_severity\""), "json:\n{json}");
     assert!(json.contains("\"by_rule\""), "json:\n{json}");
     assert!(json.contains("\"rule\": \"panic\""), "json:\n{json}");
     assert!(json.contains("\"id\": \"RN001\""), "json:\n{json}");

@@ -1,0 +1,54 @@
+//! Fixture: RN4xx numeric-dataflow violations at fixed lines.
+
+pub struct LinkStat {
+    /// unit: bit/s
+    pub capacity_bps: f64,
+    /// unit: s
+    pub mean_delay_s: f64,
+}
+
+pub fn mixed_add(stat: &LinkStat) -> f64 {
+    stat.mean_delay_s + stat.capacity_bps
+}
+
+pub fn wrong_dimension(size_bits: f64, rate_bps: f64) -> f64 {
+    let tx_delay_s = size_bits * rate_bps;
+    tx_delay_s
+}
+
+pub fn clamped_utilization(load_bps: f64, stat: &LinkStat) -> f64 {
+    debug_assert!(stat.capacity_bps > 0.0, "links carry positive capacity");
+    (load_bps / stat.capacity_bps).min(1.0)
+}
+
+pub fn unguarded_utilization(load_bps: f64, stat: &LinkStat) -> f64 {
+    load_bps / stat.capacity_bps
+}
+
+pub fn unnormalized_activation(stat: &LinkStat) -> f64 {
+    sigmoid(stat.mean_delay_s)
+}
+
+fn sigmoid(x: f64) -> f64 {
+    let e = (-x).exp();
+    1.0 / (1.0 + e)
+}
+
+pub fn log_delay(stat: &LinkStat) -> f64 {
+    stat.mean_delay_s.ln()
+}
+
+pub struct TargetKpi {
+    /// unit: s
+    pub delay_s: f64,
+    /// unit: ratio
+    pub drop_prob: f64,
+}
+
+pub fn poisoned_label(delay_sum_s: f64, n_packets: f64) -> TargetKpi {
+    let mean_s = delay_sum_s / n_packets;
+    TargetKpi {
+        delay_s: mean_s,
+        drop_prob: 0.0,
+    }
+}

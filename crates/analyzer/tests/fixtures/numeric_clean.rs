@@ -1,0 +1,43 @@
+//! Fixture: the same numeric shapes as `numeric.rs`, with units respected
+//! and every denominator/domain guarded — the analyzer must stay silent.
+
+pub struct LinkStat {
+    /// unit: bit/s
+    pub capacity_bps: f64,
+    /// unit: s
+    pub mean_delay_s: f64,
+}
+
+pub fn utilization(load_bps: f64, stat: &LinkStat) -> f64 {
+    debug_assert!(stat.capacity_bps > 0.0, "links carry positive capacity");
+    load_bps / stat.capacity_bps
+}
+
+pub fn tx_delay(size_bits: f64, rate_bps: f64) -> f64 {
+    let rate = rate_bps.max(1.0);
+    size_bits / rate
+}
+
+pub fn log_delay(stat: &LinkStat) -> f64 {
+    stat.mean_delay_s.max(1e-9).ln()
+}
+
+pub fn normalized_activation(stat: &LinkStat, scale_s: f64) -> f64 {
+    let z = stat.mean_delay_s / scale_s.max(1e-9);
+    sigmoid(z)
+}
+
+fn sigmoid(x: f64) -> f64 {
+    let e = (-x).exp();
+    1.0 / (1.0 + e)
+}
+
+pub fn finite_mean(delay_sum_s: f64, n_packets: f64) -> f64 {
+    let count = n_packets.max(1.0);
+    let mean_s = delay_sum_s / count;
+    if mean_s.is_finite() {
+        mean_s
+    } else {
+        0.0
+    }
+}

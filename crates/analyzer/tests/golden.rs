@@ -76,6 +76,14 @@ fn concurrency_report_matches_golden() {
 }
 
 #[test]
+fn numeric_report_matches_golden() {
+    golden_check(
+        "tests/fixtures/numeric.rs",
+        "tests/fixtures/golden/numeric.json",
+    );
+}
+
+#[test]
 fn concurrency_clean_report_matches_golden() {
     golden_check(
         "tests/fixtures/concurrency_clean.rs",

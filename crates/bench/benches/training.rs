@@ -85,7 +85,17 @@ fn bench_batched_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("batched_thread_sweep");
     group.sample_size(10);
     group.throughput(Throughput::Elements(work));
+    // Sweeping past the machine's core count measures oversubscription, not
+    // scaling: the extra workers time-slice one core and the "speedup" row is
+    // noise. Skip those points and say so, instead of reporting them.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     for threads in [1usize, 2, 4, 8] {
+        if threads > cores {
+            eprintln!(
+                "batched_thread_sweep: skipping {threads} threads (only {cores} core(s) available)"
+            );
+            continue;
+        }
         group.bench_with_input(
             BenchmarkId::new("nsfnet14x8_threads", threads),
             &samples,

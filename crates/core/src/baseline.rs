@@ -163,6 +163,7 @@ impl KpiPredictor for Mm1kBaseline {
         );
         net.predict_all(&scenario.routing)
             .into_iter()
+            // lint: allow(nan-sink, reason = "NaN is the deliberate 'KPI not predicted' sentinel; eval masks NaN columns")
             .map(|(delay, drop)| Prediction {
                 delay_s: delay,
                 jitter_s2: f64::NAN,
@@ -224,6 +225,7 @@ impl FnnBaseline {
     }
 
     fn input_tensor(norm: &Normalizer, scenario: &Scenario) -> Tensor {
+        debug_assert!(norm.traffic_scale > 0.0, "fit_with floors the scale");
         let demands: Vec<f64> = scenario
             .traffic
             .entries()
@@ -261,6 +263,7 @@ impl FnnBaseline {
             .iter()
             .map(|s| Self::input_tensor(&norm, &s.scenario))
             .collect();
+        debug_assert!(norm.delay_std > 0.0, "mean_std floors the std");
         let targets: Vec<Tensor> = samples
             .iter()
             .map(|s| {
@@ -320,6 +323,7 @@ impl KpiPredictor for FnnBaseline {
         let pred = self.mlp.forward(&mut sess, x);
         let v = sess.tape.value(pred);
         (0..self.n_pairs)
+            // lint: allow(nan-sink, reason = "NaN is the deliberate 'KPI not predicted' sentinel; eval masks NaN columns")
             .map(|i| Prediction {
                 delay_s: v.get(0, i) * self.norm.delay_std + self.norm.delay_mean,
                 jitter_s2: f64::NAN,

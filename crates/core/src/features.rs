@@ -14,10 +14,13 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Normalizer {
     /// Capacities are divided by this (max capacity seen in training).
+    /// unit: bit/s
     pub capacity_scale: f64,
     /// Demands are divided by this (mean demand seen in training).
+    /// unit: bit/s
     pub traffic_scale: f64,
     /// Propagation delays are divided by this (max seen, or 1 if all zero).
+    /// unit: s
     pub prop_delay_scale: f64,
     /// Regress on `log(target)` instead of the raw target. Delays span
     /// orders of magnitude across load levels; log-space targets align the
@@ -52,10 +55,13 @@ impl Default for Normalizer {
 const LOG_FLOOR: f64 = 1e-9;
 
 fn mean_std(xs: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
-    let n = xs.clone().count().max(1) as f64;
+    let n = (xs.clone().count().max(1)) as f64;
+    debug_assert!(n > 0.0);
     let mean = xs.clone().sum::<f64>() / n;
     let var = xs.map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    (mean, var.sqrt().max(1e-12))
+    // A sum of squares is mathematically nonnegative; clip the floating-point
+    // residue before sqrt so the std can never go NaN.
+    (mean, var.max(0.0).sqrt().max(1e-12))
 }
 
 impl Normalizer {
@@ -133,6 +139,10 @@ impl Normalizer {
     /// Initial link-state features: one row per directed link,
     /// `[capacity / capacity_scale, prop_delay / prop_delay_scale]`.
     pub fn link_features(&self, scenario: &Scenario) -> Tensor {
+        debug_assert!(
+            self.capacity_scale > 0.0 && self.prop_delay_scale > 0.0,
+            "fit_with floors every scale; a loaded checkpoint must too"
+        );
         let g = &scenario.graph;
         let mut t = Tensor::zeros(g.n_links(), 2);
         for (id, l) in g.links() {
@@ -145,6 +155,7 @@ impl Normalizer {
     /// Initial path-state features: one row per routed pair (canonical
     /// order), `[demand / traffic_scale]`.
     pub fn path_features(&self, scenario: &Scenario) -> Tensor {
+        debug_assert!(self.traffic_scale > 0.0, "fit_with floors the scale");
         let pairs: Vec<_> = scenario.graph.node_pairs().collect();
         let mut t = Tensor::zeros(pairs.len(), 1);
         for (i, (s, d)) in pairs.iter().enumerate() {
@@ -172,6 +183,10 @@ impl Normalizer {
     /// Standardize targets into an `n x 2` tensor `[delay_z, jitter_z]`
     /// (in log space when `log_targets` is set).
     pub fn normalize_targets(&self, targets: &[TargetKpi]) -> Tensor {
+        debug_assert!(
+            self.delay_std > 0.0 && self.jitter_std > 0.0,
+            "mean_std floors both stds"
+        );
         Tensor::from_fn(targets.len(), 2, |r, c| {
             if c == 0 {
                 (self.tf(targets[r].delay_s) - self.delay_mean) / self.delay_std

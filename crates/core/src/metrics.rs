@@ -16,10 +16,13 @@ pub struct EvalSummary {
     /// Root mean squared error.
     pub rmse: f64,
     /// Mean relative error `|p - t| / t`.
+    /// unit: ratio
     pub mre: f64,
     /// Median relative error.
+    /// unit: ratio
     pub median_re: f64,
     /// 95th-percentile relative error.
+    /// unit: ratio
     pub p95_re: f64,
     /// Pearson correlation coefficient.
     pub pearson_r: f64,

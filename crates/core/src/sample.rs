@@ -12,11 +12,14 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TargetKpi {
     /// Mean per-packet end-to-end delay, seconds.
+    /// unit: s
     pub delay_s: f64,
     /// Delay variance ("jitter"), s².
+    /// unit: s^2
     pub jitter_s2: f64,
     /// Drop probability within the measurement window (0 with infinite
     /// buffers; labels for the finite-buffer extension experiment).
+    /// unit: ratio
     #[serde(default)]
     pub drop_prob: f64,
 }
@@ -118,12 +121,15 @@ impl Sample {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Prediction {
     /// Predicted mean delay, seconds.
+    /// unit: s
     pub delay_s: f64,
     /// Predicted jitter (delay variance), s². `NaN` when the predictor has
     /// no jitter head.
+    /// unit: s^2
     pub jitter_s2: f64,
     /// Predicted drop probability. `NaN` when the predictor has no drop
     /// head.
+    /// unit: ratio
     pub drop_prob: f64,
 }
 

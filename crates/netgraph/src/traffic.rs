@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 pub struct TrafficMatrix {
     n_nodes: usize,
     /// `demand[s * n + d]`, zero on the diagonal.
+    /// unit: bit/s
     demands_bps: Vec<f64>,
 }
 
@@ -164,7 +165,11 @@ pub fn link_utilizations(g: &Graph, routing: &RoutingScheme, tm: &TrafficMatrix)
     link_loads(g, routing, tm)
         .into_iter()
         .enumerate()
-        .map(|(i, load)| load / g.adj_link(LinkId(i)).capacity_bps)
+        .map(|(i, load)| {
+            let capacity_bps = g.adj_link(LinkId(i)).capacity_bps;
+            debug_assert!(capacity_bps > 0.0, "graph links carry positive capacity");
+            load / capacity_bps
+        })
         .collect()
 }
 

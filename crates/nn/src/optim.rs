@@ -8,12 +8,14 @@ use serde::{Deserialize, Serialize};
 /// Returns the pre-clip norm.
 pub fn clip_global_norm(grads: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
     assert!(max_norm > 0.0);
-    let total: f64 = grads
-        .iter()
-        .map(|(_, g)| g.norm().powi(2))
-        .sum::<f64>()
-        .sqrt();
+    let sq: f64 = grads.iter().map(|(_, g)| g.norm().powi(2)).sum();
+    debug_assert!(sq >= 0.0, "a sum of squared norms is nonnegative");
+    let total = sq.sqrt();
     if total > max_norm {
+        debug_assert!(
+            total > 0.0,
+            "total exceeds max_norm, which is asserted positive"
+        );
         let s = max_norm / total;
         for (_, g) in grads.iter_mut() {
             *g = g.map(|x| x * s);
@@ -137,6 +139,10 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         // lint: allow(cast, reason = "Adam step counts stay many orders of magnitude below i32::MAX")
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        debug_assert!(
+            bc1 > 0.0 && bc2 > 0.0,
+            "betas below 1 and t >= 1 keep the bias corrections positive"
+        );
         for (id, g) in grads {
             let m = self.m[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
             let v = self.v[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
@@ -146,7 +152,10 @@ impl Adam {
             for i in 0..p.len() {
                 let mhat = m.data()[i] / bc1;
                 let vhat = v.data()[i] / bc2;
-                p.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                debug_assert!(vhat >= 0.0, "second moments average squared gradients");
+                let denom = vhat.sqrt() + self.eps;
+                debug_assert!(denom > 0.0, "the constructor asserts eps > 0");
+                p.data_mut()[i] -= self.lr * mhat / denom;
             }
         }
     }

@@ -515,6 +515,7 @@ impl Tape {
             let (lo, hi) = seg.range(s);
             assert!(hi > lo, "segment_mean requires non-empty segments");
             let n = (hi - lo) as f64;
+            debug_assert!(n > 0.0);
             for r in lo..hi {
                 for c in 0..cols {
                     v.set(s, c, v.get(s, c) + av.get(r, c));
@@ -543,6 +544,7 @@ impl Tape {
             let (lo, hi) = seg.range(s);
             assert!(hi > lo, "seg_mse requires non-empty segments");
             let n = ((hi - lo) * cols) as f64;
+            debug_assert!(n > 0.0, "segments are non-empty and cols > 0");
             let loss = p.data()[lo * cols..hi * cols] // lint: allow(panic, reason = "segment offsets validated against pred rows above")
                 .iter()
                 .zip(&target.data()[lo * cols..hi * cols]) // lint: allow(panic, reason = "target shape equals pred shape, asserted above")
@@ -565,7 +567,9 @@ impl Tape {
     /// Mean of all elements (`1 x 1`).
     pub fn mean_all(&mut self, a: Var) -> Var {
         let av = self.value(a);
-        let m = av.sum() / av.len() as f64;
+        let n = av.len() as f64;
+        debug_assert!(n > 0.0, "mean_all on an empty tensor would be NaN");
+        let m = av.sum() / n;
         let mut v = self.alloc_tensor(1, 1);
         v.set(0, 0, m);
         self.push(Op::MeanAll(a), v)
@@ -581,6 +585,7 @@ impl Tape {
         let mut v = self.alloc_tensor(1, 1);
         let p = self.value(pred);
         let n = p.len() as f64;
+        debug_assert!(n > 0.0, "mse on an empty tensor would be NaN");
         let loss = p
             .data()
             .iter()
@@ -602,6 +607,7 @@ impl Tape {
         let mut v = self.alloc_tensor(1, 1);
         let p = self.value(pred);
         let n = p.len() as f64;
+        debug_assert!(n > 0.0, "mae on an empty tensor would be NaN");
         let loss = p
             .data()
             .iter()
@@ -842,6 +848,7 @@ impl Tape {
                 for s in 0..plan.n_segments() {
                     let (lo, hi) = plan.range(s);
                     let n = (hi - lo) as f64;
+                    debug_assert!(n > 0.0, "segments are non-empty");
                     for r in lo..hi {
                         for c in 0..cols {
                             ga.set(r, c, g.get(s, c) / n);
@@ -875,13 +882,16 @@ impl Tape {
             }
             Op::MeanAll(a) => {
                 let av = self.value(*a);
-                let s = g.get(0, 0) / av.len() as f64;
+                let n = av.len() as f64;
+                debug_assert!(n > 0.0, "forward pass rejected the empty tensor");
+                let s = g.get(0, 0) / n;
                 let (r, c) = av.shape();
                 add_to(grads, *a, Tensor::full(r, c, s));
             }
             Op::Mse(p, target) => {
                 let pv = self.value(*p);
                 let n = pv.len() as f64;
+                debug_assert!(n > 0.0);
                 let s = g.get(0, 0);
                 let gp = pv.zip(target, |a, b| 2.0 * (a - b) * s / n);
                 add_to(grads, *p, gp);
@@ -889,6 +899,7 @@ impl Tape {
             Op::Mae(p, target) => {
                 let pv = self.value(*p);
                 let n = pv.len() as f64;
+                debug_assert!(n > 0.0);
                 let s = g.get(0, 0);
                 let gp = pv.zip(target, |a, b| (a - b).signum() * s / n);
                 add_to(grads, *p, gp);

@@ -1,0 +1,144 @@
+//! Run a command under a [`routenet_obs::Telemetry`] span timer and fail if
+//! its wall-clock time exceeds a budget.
+//!
+//! ```text
+//! time-gate --budget-s SECONDS [--span NAME] [--telemetry FILE] -- CMD [ARGS...]
+//! ```
+//!
+//! The child's stdout/stderr pass through untouched. On success prints a
+//! one-line digest with the measured seconds and the budget. Exit codes:
+//! the child's own code if it fails, 1 if the child succeeded but blew the
+//! budget, 2 on usage errors.
+//!
+//! `scripts/check.sh` wraps the analyzer gate with this so the static-analysis
+//! pass stays fast as rule families grow: a new rule that regresses the scan
+//! past the budget fails CI with a timing diagnostic instead of silently
+//! taxing every pre-commit loop.
+
+use routenet_obs::Telemetry;
+use std::process::Command;
+
+struct Args {
+    budget_s: f64,
+    span: String,
+    telemetry: Option<String>,
+    cmd: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget_s: Option<f64> = None;
+    let mut span = "gated-command".to_string();
+    let mut telemetry: Option<String> = None;
+    let mut cmd: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--budget-s" => {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or("--budget-s needs a seconds argument")?;
+                let parsed: f64 = v
+                    .parse()
+                    .map_err(|e| format!("--budget-s {v}: not a number: {e}"))?;
+                let valid = parsed.is_finite() && parsed > 0.0;
+                if !valid {
+                    return Err(format!("--budget-s {v}: budget must be positive"));
+                }
+                budget_s = Some(parsed);
+                i += 2;
+            }
+            "--span" => {
+                span = argv
+                    .get(i + 1)
+                    .ok_or("--span needs a name argument")?
+                    .clone();
+                i += 2;
+            }
+            "--telemetry" => {
+                telemetry = Some(
+                    argv.get(i + 1)
+                        .ok_or("--telemetry needs a file argument")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--" => {
+                cmd.extend(argv[i + 1..].iter().cloned());
+                break;
+            }
+            flag => {
+                return Err(format!("unknown argument {flag} (command goes after --)"));
+            }
+        }
+    }
+    let budget_s = budget_s.ok_or("--budget-s is required")?;
+    if cmd.is_empty() {
+        return Err("no command: pass it after --".to_string());
+    }
+    Ok(Args {
+        budget_s,
+        span,
+        telemetry,
+        cmd,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: time-gate --budget-s SECONDS [--span NAME] [--telemetry FILE] -- CMD [ARGS...]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let tel = match &args.telemetry {
+        Some(path) => Telemetry::to_file("time-gate", &args.span, path),
+        None => Telemetry::in_memory("time-gate", &args.span),
+    };
+
+    // The span name must outlive the handle; leak the small string rather
+    // than threading a lifetime through Telemetry::span's &'static contract.
+    let span_name: &'static str = Box::leak(args.span.clone().into_boxed_str());
+    let status = {
+        let _guard = tel.span(span_name);
+        Command::new(&args.cmd[0]).args(&args.cmd[1..]).status()
+    };
+
+    let elapsed_s = tel
+        .histogram_summary(span_name)
+        .and_then(|h| if h.count > 0 { Some(h.max) } else { None })
+        .unwrap_or(0.0);
+    tel.gauge_set("budget_s", args.budget_s);
+    if let Err(e) = tel.finish() {
+        eprintln!("time-gate: telemetry sink error (non-fatal): {e}");
+    }
+
+    let status = match status {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("time-gate: cannot run {}: {e}", args.cmd[0]);
+            std::process::exit(2);
+        }
+    };
+    if !status.success() {
+        let code = status.code().unwrap_or(1);
+        eprintln!("time-gate: {} failed with exit code {code}", args.cmd[0]);
+        std::process::exit(code);
+    }
+    if elapsed_s > args.budget_s {
+        eprintln!(
+            "time-gate: {span_name} took {elapsed_s:.2}s, over the {:.2}s budget",
+            args.budget_s
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "time-gate: {span_name} ok in {elapsed_s:.2}s (budget {:.2}s)",
+        args.budget_s
+    );
+}

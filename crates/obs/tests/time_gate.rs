@@ -1,0 +1,100 @@
+//! Integration tests for the `time-gate` binary: a wrapped command is timed
+//! under a span, the budget gates the exit code, and the optional telemetry
+//! log is a parseable JSONL with the expected markers (the same contract
+//! `validate-telemetry` enforces for training/simulation runs).
+
+use routenet_obs::Record;
+use std::process::Command;
+
+fn time_gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_time-gate"))
+}
+
+#[test]
+fn fast_command_passes_within_budget() {
+    let out = time_gate()
+        .args(["--budget-s", "30", "--span", "smoke", "--", "true"])
+        .output()
+        .expect("run time-gate");
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("time-gate: smoke ok in"),
+        "digest missing: {stdout}"
+    );
+    assert!(stdout.contains("budget 30.00s"), "budget missing: {stdout}");
+}
+
+#[test]
+fn over_budget_command_fails_with_timing_diagnostic() {
+    // A 50 ms budget the sleep is guaranteed to blow.
+    let out = time_gate()
+        .args(["--budget-s", "0.05", "--span", "slow", "--", "sleep", "0.3"])
+        .output()
+        .expect("run time-gate");
+    assert_eq!(out.status.code(), Some(1), "expected the budget exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("slow took") && stderr.contains("over the 0.05s budget"),
+        "diagnostic missing: {stderr}"
+    );
+}
+
+#[test]
+fn child_failure_propagates_its_exit_code() {
+    let out = time_gate()
+        .args(["--budget-s", "30", "--", "sh", "-c", "exit 3"])
+        .output()
+        .expect("run time-gate");
+    assert_eq!(out.status.code(), Some(3), "child exit code not propagated");
+}
+
+#[test]
+fn missing_budget_is_a_usage_error() {
+    let out = time_gate()
+        .args(["--", "true"])
+        .output()
+        .expect("run time-gate");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--budget-s is required"), "{stderr}");
+}
+
+#[test]
+fn telemetry_log_is_parseable_with_span_and_budget() {
+    let dir = std::env::temp_dir().join(format!("time-gate-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log = dir.join("gate.telemetry.jsonl");
+    let out = time_gate()
+        .args([
+            "--budget-s",
+            "30",
+            "--span",
+            "analyzer-gate",
+            "--telemetry",
+            log.to_str().expect("utf-8 temp path"),
+            "--",
+            "true",
+        ])
+        .output()
+        .expect("run time-gate");
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    // Same shape validate-telemetry checks: every line parses as a Record,
+    // seq strictly increases, and the run markers are present.
+    let text = std::fs::read_to_string(&log).expect("read telemetry log");
+    let mut last_seq = None;
+    let mut kinds = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let rec: Record = serde_json::from_str(line).expect("parseable record");
+        if let Some(prev) = last_seq {
+            assert!(rec.seq > prev, "seq not strictly increasing");
+        }
+        last_seq = Some(rec.seq);
+        kinds.push(rec.event.kind());
+    }
+    assert!(kinds.contains(&"RunStart"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"RunEnd"), "kinds: {kinds:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -41,6 +41,7 @@ impl Mm1Link {
         let rho = lambda_pps / mu_pps;
         let (mean, var) = if rho < 1.0 {
             let gap = mu_pps - lambda_pps;
+            debug_assert!(gap > 0.0, "rho < 1 implies mu > lambda");
             (1.0 / gap, 1.0 / (gap * gap))
         } else {
             (f64::INFINITY, f64::INFINITY)
@@ -57,7 +58,9 @@ impl Mm1Link {
     /// Mean number of packets in the system (`rho / (1 - rho)`).
     pub fn mean_in_system(&self) -> f64 {
         if self.rho < 1.0 {
-            self.rho / (1.0 - self.rho)
+            let headroom = 1.0 - self.rho;
+            debug_assert!(headroom > 0.0);
+            self.rho / headroom
         } else {
             f64::INFINITY
         }
@@ -158,8 +161,10 @@ pub fn service_cv2(dist: &crate::sim::SizeDistribution) -> f64 {
         } => {
             // sizes: s1 = small_frac (w.p. p), s2 = (1 - p*s1)/(1-p), mean 1.
             let s1 = small_frac;
-            let s2 = (1.0 - p_small * s1) / (1.0 - p_small);
-            let e2 = p_small * s1 * s1 + (1.0 - p_small) * s2 * s2;
+            let p_large = 1.0 - p_small;
+            debug_assert!(p_large > 0.0, "bimodal p_small must stay below 1");
+            let s2 = (1.0 - p_small * s1) / p_large;
+            let e2 = p_small * s1 * s1 + p_large * s2 * s2;
             e2 - 1.0
         }
     }
@@ -335,8 +340,13 @@ impl Mm1kLink {
             // lint: allow(cast, reason = "queue capacities are small integers, far below i32::MAX")
             let rk = rho.powi(k as i32);
             let rk1 = rk * rho;
-            let pb = (1.0 - rho) * rk / (1.0 - rk1);
-            let l = rho / (1.0 - rho) - (k as f64 + 1.0) * rk1 / (1.0 - rk1);
+            // rho is positive and bounded away from 1 by the branch above, so
+            // both geometric denominators are nonzero.
+            let denom_pk = 1.0 - rk1;
+            let denom_l = 1.0 - rho;
+            debug_assert!(denom_pk.abs() > 0.0 && denom_l.abs() > 0.0);
+            let pb = (1.0 - rho) * rk / denom_pk;
+            let l = rho / denom_l - (k as f64 + 1.0) * rk1 / denom_pk;
             (pb, l)
         };
         let accepted = lambda_pps * (1.0 - block_prob);

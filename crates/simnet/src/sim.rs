@@ -258,6 +258,7 @@ pub fn simulate(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut flows: Vec<Flow> = Vec::new();
+    debug_assert!(cfg.mean_pkt_size_bits > 0.0, "validate_config invariant");
     for (s, d, demand) in tm.entries() {
         if demand > 0.0 {
             flows.push(Flow {
@@ -424,6 +425,10 @@ pub fn simulate(
                         continue;
                     }
                 }
+                debug_assert!(
+                    link.capacity_bps > 0.0,
+                    "graph links carry positive capacity"
+                );
                 let service = size_bits / link.capacity_bps;
                 let start = now.max(link.busy_until);
                 let depart = start + service;
@@ -598,11 +603,17 @@ fn validate_config(cfg: &SimConfig) -> Result<(), SimError> {
 fn exp_sample<R: Rng>(rate: f64, rng: &mut R) -> f64 {
     debug_assert!(rate > 0.0);
     let u: f64 = rng.gen();
-    -(1.0 - u).ln() / rate
+    let survival = 1.0 - u;
+    debug_assert!(
+        survival > 0.0,
+        "gen() samples [0, 1), so 1-u stays positive"
+    );
+    -survival.ln() / rate
 }
 
 fn sample_size<R: Rng>(cfg: &SimConfig, rng: &mut R) -> f64 {
     let mean = cfg.mean_pkt_size_bits;
+    debug_assert!(mean > 0.0, "validate_config invariant");
     match cfg.size_dist {
         SizeDistribution::Exponential => exp_sample(1.0 / mean, rng),
         SizeDistribution::Deterministic => mean,
@@ -611,7 +622,9 @@ fn sample_size<R: Rng>(cfg: &SimConfig, rng: &mut R) -> f64 {
             small_frac,
         } => {
             let small = small_frac * mean;
-            let large = (mean - p_small * small) / (1.0 - p_small);
+            let p_large = 1.0 - p_small;
+            debug_assert!(p_large > 0.0, "validate_config bounds p_small below 1");
+            let large = (mean - p_small * small) / p_large;
             if rng.gen::<f64>() < p_small {
                 small
             } else {
@@ -623,6 +636,7 @@ fn sample_size<R: Rng>(cfg: &SimConfig, rng: &mut R) -> f64 {
 
 /// Next packet time for `flow` strictly after `now`.
 fn next_arrival_time<R: Rng>(now: f64, f: &mut Flow, proc: &ArrivalProcess, rng: &mut R) -> f64 {
+    debug_assert!(f.rate_pps > 0.0, "flows are only created for demand > 0");
     match *proc {
         ArrivalProcess::Poisson => now + exp_sample(f.rate_pps, rng),
         ArrivalProcess::Deterministic => now + 1.0 / f.rate_pps,
@@ -631,7 +645,12 @@ fn next_arrival_time<R: Rng>(now: f64, f: &mut Flow, proc: &ArrivalProcess, rng:
             off_mean_s,
         } => {
             // Rate during ON chosen so the long-run average equals rate_pps.
+            debug_assert!(
+                on_mean_s > 0.0 && off_mean_s >= 0.0,
+                "validate_config invariant"
+            );
             let duty = on_mean_s / (on_mean_s + off_mean_s);
+            debug_assert!(duty > 0.0);
             let burst_rate = f.rate_pps / duty;
             let mut t = now;
             loop {
@@ -648,6 +667,7 @@ fn next_arrival_time<R: Rng>(now: f64, f: &mut Flow, proc: &ArrivalProcess, rng:
                     } else {
                         off_mean_s.max(1e-12)
                     };
+                    debug_assert!(mean > 0.0);
                     f.period_end = t + exp_sample(1.0 / mean, rng);
                     continue;
                 }

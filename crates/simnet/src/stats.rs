@@ -76,11 +76,12 @@ impl DelayAccumulator {
             return;
         }
         let total = self.count + other.count;
+        debug_assert!(total > 0, "both sides nonzero after the early returns");
+        let total_f = total as f64;
         let delta = other.mean - self.mean;
-        let mean = self.mean + delta * other.count as f64 / total as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        let mean = self.mean + delta * other.count as f64 / total_f;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.count as f64 * other.count as f64 / total_f;
         self.count = total;
         self.mean = mean;
         self.m2 = m2;
@@ -123,6 +124,7 @@ impl LogHistogram {
     }
 
     fn bin_of(&self, x: f64) -> usize {
+        debug_assert!(self.lo > 0.0 && self.hi > self.lo && x > 0.0);
         let b = self.counts.len() as f64;
         let t = (x / self.lo).ln() / (self.hi / self.lo).ln();
         ((t * b).floor().max(0.0) as usize).min(self.counts.len() - 1)
@@ -144,6 +146,7 @@ impl LogHistogram {
     /// `q`-quantile (`0 < q <= 1`), or `None` with no observations.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!(q > 0.0 && q <= 1.0);
+        debug_assert!(self.lo > 0.0 && self.hi > self.lo, "constructor invariant");
         if self.total == 0 {
             return None;
         }
@@ -153,6 +156,7 @@ impl LogHistogram {
             if cum + c >= target {
                 // Interpolate within the bin in log space.
                 let b = self.counts.len() as f64;
+                debug_assert!(b > 0.0, "constructor requires at least two bins");
                 let frac = if c == 0 {
                     0.5
                 } else {
@@ -188,24 +192,31 @@ pub struct FlowStats {
     /// Flow destination node.
     pub dst: NodeId,
     /// Offered average rate, bits/s (input parameter echoed for convenience).
+    /// unit: bit/s
     pub offered_bps: f64,
     /// Packets delivered end-to-end within the measurement window.
     pub delivered: u64,
     /// Packets dropped at full buffers.
     pub dropped: u64,
     /// Mean per-packet end-to-end delay, seconds.
+    /// unit: s
     pub mean_delay_s: f64,
     /// Delay variance ("jitter" in the RouteNet dataset convention), s².
+    /// unit: s^2
     pub jitter_s2: f64,
     /// Extremes, seconds.
+    /// unit: s
     pub min_delay_s: f64,
     /// Maximum observed delay, seconds.
+    /// unit: s
     pub max_delay_s: f64,
     /// 90th-percentile delay, seconds (log-histogram estimate, ~9% relative
     /// resolution; 0 with no observations). Tail-latency label for the
     /// percentile-prediction extension of RouteNet.
+    /// unit: s
     pub p90_delay_s: f64,
     /// 99th-percentile delay, seconds (same estimator as `p90_delay_s`).
+    /// unit: s
     pub p99_delay_s: f64,
 }
 
@@ -227,17 +238,21 @@ pub struct SimResult {
     /// One entry per flow with non-zero demand, in canonical pair order.
     pub flows: Vec<FlowStats>,
     /// Per-link mean utilization measured over the run (busy time fraction).
+    /// unit: ratio
     pub link_utilization: Vec<f64>,
     /// Per-link time-average number of packets in system (Little's law:
     /// accumulated sojourn time divided by the measurement window).
+    /// unit: count
     pub link_mean_occupancy: Vec<f64>,
     /// Per-link mean per-packet sojourn (wait + service) time, seconds.
+    /// unit: s
     pub link_mean_sojourn_s: Vec<f64>,
     /// Total simulated packets (delivered + dropped + still in flight at end).
     pub total_packets: u64,
     /// Number of processed events (cost metric for the E5 experiment).
     pub events_processed: u64,
     /// Simulated duration excluding warm-up, seconds.
+    /// unit: s
     pub measured_duration_s: f64,
 }
 

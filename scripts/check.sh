@@ -34,14 +34,24 @@ fi
 # are escalated to deny here so CI blocks new allocation churn and per-iteration
 # lock traffic in the kernels even though the rules default to warn for local
 # runs. In --quick mode only git-changed files are scanned (the call graph is
-# still workspace-wide, so transitive RN2xx evidence is unaffected).
+# still workspace-wide, so transitive RN2xx/RN4xx evidence is unaffected, and
+# the changed set is expanded with transitive caller files).
+#
+# The full pass runs under the routenet-obs time-gate span timer with a
+# wall-clock budget: the gate must stay fast enough for the pre-commit loop
+# as rule families grow, so a rule that regresses the scan past the budget
+# fails CI with a timing diagnostic instead of silently taxing every run.
+# The budget excludes compilation (both binaries are built first) and is
+# overridable for slow CI machines via ANALYZER_BUDGET_S.
 step "routenet-analyzer --workspace (baseline ratchet)"
 mkdir -p target
 CHANGED_ONLY=()
 if [[ "$QUICK" -eq 1 ]]; then
     CHANGED_ONLY=(--changed-only)
 fi
-cargo run -q -p routenet-analyzer -- --workspace \
+cargo build -q -p routenet-analyzer -p routenet-obs --bins
+./target/debug/time-gate --budget-s "${ANALYZER_BUDGET_S:-20}" --span analyzer-gate -- \
+    ./target/debug/routenet-analyzer --workspace \
     "${CHANGED_ONLY[@]}" \
     --deny hot-loop-alloc \
     --deny hot-loop-lock \
@@ -106,14 +116,24 @@ cargo test -q --release -p routenet-simnet --test telemetry_overhead \
 # Batched-kernel equivalence smoke test: training on the batched CSR path
 # and on the sequential per-sample path (--sequential) must produce
 # byte-identical model artifacts (see DESIGN.md "Batched execution & memory
-# arenas" — segment order in sample order is the determinism contract).
+# arenas" — segment order in sample order is the determinism contract), at
+# every worker count. The sweep is capped at the machine's core count:
+# running 4 workers on a 2-core box measures oversubscription, not scaling,
+# so those points are skipped with a note rather than reported as data.
 step "batched vs sequential equivalence smoke test"
-cargo run -q --release -p routenet-bench --bin train-model -- \
-    --train "$TELDIR/train.jsonl" --lenient --epochs 2 \
-    --out "$TELDIR/model-batched.json" --no-telemetry >/dev/null
 cargo run -q --release -p routenet-bench --bin train-model -- \
     --train "$TELDIR/train.jsonl" --lenient --epochs 2 --sequential \
     --out "$TELDIR/model-sequential.json" --no-telemetry >/dev/null
-cmp "$TELDIR/model-batched.json" "$TELDIR/model-sequential.json"
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+for THREADS in 1 2 4; do
+    if [[ "$THREADS" -gt "$CORES" ]]; then
+        echo "note: skipping ${THREADS}-thread batched smoke (only ${CORES} core(s) available)"
+        continue
+    fi
+    cargo run -q --release -p routenet-bench --bin train-model -- \
+        --train "$TELDIR/train.jsonl" --lenient --epochs 2 --threads "$THREADS" \
+        --out "$TELDIR/model-batched-t$THREADS.json" --no-telemetry >/dev/null
+    cmp "$TELDIR/model-batched-t$THREADS.json" "$TELDIR/model-sequential.json"
+done
 
 step "all checks passed"
