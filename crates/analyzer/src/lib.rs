@@ -55,6 +55,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/analyzer/",
     "crates/obs/",
     "crates/faults/",
+    "crates/serve/",
 ];
 
 /// Crates whose `Result`-returning public APIs must carry `#[must_use]`.
@@ -64,6 +65,7 @@ const MUST_USE_CRATES: &[&str] = &[
     "crates/analyzer/",
     "crates/obs/",
     "crates/faults/",
+    "crates/serve/",
 ];
 
 /// Crates whose library code must route all filesystem access through the
@@ -71,7 +73,12 @@ const MUST_USE_CRATES: &[&str] = &[
 /// injection, retry, and the chaos tests (RN301). Binaries are exempt
 /// (they wire the seam up), as is `routenet-faults` itself (it *is* the
 /// seam).
-const IO_SEAM_CRATES: &[&str] = &["crates/core/", "crates/dataset/", "crates/obs/"];
+const IO_SEAM_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/dataset/",
+    "crates/obs/",
+    "crates/serve/",
+];
 
 /// Files under the RN4xx numeric-dataflow audit: the measurement and kernel
 /// code where a seconds-vs-bits/s slip or an unguarded division corrupts

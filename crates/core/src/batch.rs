@@ -292,4 +292,108 @@ mod tests {
     fn pack_rejects_empty() {
         BatchedScenario::pack(&[]);
     }
+
+    /// Smallest scenario a serving query can carry: two nodes, two one-hop
+    /// paths. `generate::synthetic` cannot build it (preferential attachment
+    /// needs n > 2), so it comes from a full mesh.
+    fn minimal_scenario(demand: f64) -> Scenario {
+        let g = generate::full_mesh(2);
+        let routing = shortest_path_routing(&g).unwrap();
+        let mut traffic = TrafficMatrix::zeros(2);
+        for (s, d) in g.node_pairs() {
+            traffic.set_demand(s, d, demand);
+        }
+        Scenario {
+            graph: g,
+            routing,
+            traffic,
+        }
+    }
+
+    fn assert_bitwise(got: &[crate::sample::Prediction], want: &[crate::sample::Prediction]) {
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(want) {
+            assert_eq!(a.delay_s.to_bits(), b.delay_s.to_bits());
+            assert_eq!(a.jitter_s2.to_bits(), b.jitter_s2.to_bits());
+            assert_eq!(a.drop_prob.to_bits(), b.drop_prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_of_one_minimal_scenario() {
+        let m = model();
+        let sc = minimal_scenario(120.0);
+        let compiled = m.compile(&sc);
+        let b = BatchedScenario::pack(&[&compiled]);
+        assert_eq!(b.n_samples(), 1);
+        assert_eq!(b.n_paths, 2);
+        assert_eq!(b.max_len, 1);
+        assert_eq!(b.sample_path_range(0), (0, 2));
+        let batched = m.predict_batch_compiled(&[&compiled]);
+        assert_eq!(batched.len(), 1);
+        assert_bitwise(&batched[0], &m.predict_compiled(&compiled));
+    }
+
+    #[test]
+    fn batch_mixing_empty_and_nonempty_segments() {
+        // The minimal sample goes inactive after position 0; deeper samples
+        // keep their segments populated, so later positions mix empty and
+        // non-empty segments — the shape a mixed-topology micro-batch hits.
+        let m = model();
+        let scs = [minimal_scenario(90.0), scenario(8, 11), scenario(5, 12)];
+        let compiled: Vec<_> = scs.iter().map(|s| m.compile(s)).collect();
+        let refs: Vec<&CompiledScenario> = compiled.iter().collect();
+        let b = BatchedScenario::pack(&refs);
+        assert!(b.max_len > 1, "need depth to exercise inactive samples");
+        let pos = b.position(b.max_len - 1);
+        let (lo, hi) = pos.seg.range(0);
+        assert_eq!(lo, hi, "minimal sample must be inactive at the last hop");
+        assert!(
+            (1..3).any(|s| {
+                let (lo, hi) = pos.seg.range(s);
+                hi > lo
+            }),
+            "a deep sample must stay active at the last hop"
+        );
+        let batched = m.predict_batch_compiled(&refs);
+        for (preds, c) in batched.iter().zip(&compiled) {
+            assert_bitwise(preds, &m.predict_compiled(c));
+        }
+    }
+
+    #[test]
+    fn repeated_topology_queries_share_one_cached_plan() {
+        // The daemon's cache hands every same-topology query one PathTensors
+        // plan; only the traffic differs. Per-query answers from the shared
+        // plan must match compiling each scenario from scratch, bitwise.
+        let m = model();
+        let base = scenario(6, 21);
+        let index = crate::indexing::PathTensors::build(&base);
+        let mut queries = Vec::new();
+        for i in 0..4 {
+            let mut sc = base.clone();
+            for (s, d) in sc.graph.node_pairs() {
+                let demand = 80.0 + 13.0 * (i * 40 + s.0 * 6 + d.0) as f64;
+                sc.traffic.set_demand(s, d, demand);
+            }
+            queries.push(sc);
+        }
+        let compiled: Vec<_> = queries
+            .iter()
+            .map(|sc| m.compile_with_index(sc, index.clone()))
+            .collect();
+        let refs: Vec<&CompiledScenario> = compiled.iter().collect();
+        let batched = m.predict_batch_compiled(&refs);
+        assert_eq!(batched.len(), 4);
+        for (preds, sc) in batched.iter().zip(&queries) {
+            let fresh = m.compile(sc);
+            assert_bitwise(preds, &m.predict_compiled(&fresh));
+        }
+        // Different traffic must actually produce different answers — the
+        // shared plan is an indexing cache, not a result cache.
+        assert!(batched[0]
+            .iter()
+            .zip(&batched[1])
+            .any(|(a, b)| a.delay_s != b.delay_s));
+    }
 }

@@ -43,14 +43,34 @@ pub fn relative_errors(preds: &[f64], truths: &[f64]) -> Vec<f64> {
 
 /// Signed relative errors `(p - t) / max(|t|, eps)` (Fig. 3 uses the
 /// distribution of signed errors in some renditions; we expose both).
+///
+/// Zero-truth rows are *skipped*: `delay == 0` is the simulator's sentinel
+/// for a flow that produced no measured packets (the same family
+/// `top_n_paths_by_delay` filters), and flooring them with `eps` turned
+/// each one into a ~1e12 pseudo-error that silently dominated MRE/p95.
+/// Use [`signed_relative_errors_counted`] to also learn how many rows
+/// were skipped.
 pub fn signed_relative_errors(preds: &[f64], truths: &[f64]) -> Vec<f64> {
+    signed_relative_errors_counted(preds, truths).0
+}
+
+/// [`signed_relative_errors`] plus the number of zero-truth sentinel rows
+/// that were skipped, so callers can surface coverage honestly instead of
+/// absorbing unobserved flows into the error distribution.
+pub fn signed_relative_errors_counted(preds: &[f64], truths: &[f64]) -> (Vec<f64>, usize) {
     assert_eq!(preds.len(), truths.len(), "length mismatch");
     const EPS: f64 = 1e-12;
-    preds
-        .iter()
-        .zip(truths)
-        .map(|(&p, &t)| (p - t) / t.abs().max(EPS))
-        .collect()
+    let mut errors = Vec::with_capacity(preds.len());
+    let mut skipped = 0usize;
+    for (&p, &t) in preds.iter().zip(truths) {
+        // lint: allow(float-eq, reason = "the simulator writes the unobserved-flow sentinel as exactly 0.0; epsilon matching would also swallow real tiny delays")
+        if t == 0.0 {
+            skipped += 1;
+        } else {
+            errors.push((p - t) / t.abs().max(EPS));
+        }
+    }
+    (errors, skipped)
 }
 
 /// `q`-th percentile (0..=100) by linear interpolation on sorted data.
@@ -245,5 +265,26 @@ mod tests {
     fn tiny_truth_guarded() {
         let re = relative_errors(&[1.0], &[0.0]);
         assert!(re[0].is_finite());
+    }
+
+    #[test]
+    fn signed_errors_skip_zero_truth_sentinels() {
+        // Middle row is an unobserved-flow sentinel (delay == 0); the old
+        // eps floor turned it into a 2e12 pseudo-error dominating every
+        // percentile.
+        let preds = vec![1.1, 2.0, 2.7];
+        let truths = vec![1.0, 0.0, 3.0];
+        let (sre, skipped) = signed_relative_errors_counted(&preds, &truths);
+        assert_eq!(skipped, 1);
+        assert_eq!(sre.len(), 2);
+        assert!((sre[0] - 0.1).abs() < 1e-9);
+        assert!((sre[1] + 0.1).abs() < 1e-9);
+        assert!(sre.iter().all(|e| e.abs() < 1.0), "no 1e12 pseudo-errors");
+        // The convenience wrapper agrees.
+        assert_eq!(signed_relative_errors(&preds, &truths), sre);
+        // Tiny-but-nonzero truths still go through the eps guard.
+        let (sre, skipped) = signed_relative_errors_counted(&[1.0], &[1e-15]);
+        assert_eq!(skipped, 0);
+        assert!(sre[0].is_finite());
     }
 }

@@ -401,6 +401,47 @@ impl RouteNet {
         (preds, sess.into_tape())
     }
 
+    /// Predict denormalized KPIs for many pre-compiled scenarios in ONE
+    /// batched forward pass ([`RouteNet::forward_batch`]). Accepts
+    /// heterogeneous plans — different topologies, path counts, and hop
+    /// depths pack fine — and returns one prediction vector per input, in
+    /// input order. By the batched-equivalence contract (see DESIGN.md
+    /// "Batched execution & memory arenas"), each sample's predictions are
+    /// bitwise identical to [`RouteNet::predict_compiled`] on that sample
+    /// alone, for any batch composition — the property that lets a serving
+    /// daemon micro-batch concurrent queries without perturbing answers.
+    pub fn predict_batch_compiled(&self, compiled: &[&CompiledScenario]) -> Vec<Vec<Prediction>> {
+        self.predict_batch_compiled_reuse(compiled, Tape::new()).0
+    }
+
+    /// [`RouteNet::predict_batch_compiled`] threading an arena-backed tape
+    /// through the call, mirroring [`RouteNet::predict_compiled_reuse`]: a
+    /// long-lived caller (the serving daemon's batch loop) reuses one
+    /// allocation arena across micro-batches instead of building a fresh
+    /// tape per batch. An empty slice is a no-op returning the arena.
+    pub fn predict_batch_compiled_reuse(
+        &self,
+        compiled: &[&CompiledScenario],
+        arena: Tape,
+    ) -> (Vec<Vec<Prediction>>, Tape) {
+        if compiled.is_empty() {
+            return (Vec::new(), arena);
+        }
+        let batch = BatchedScenario::pack(compiled);
+        let mut sess = Session::with_tape(&self.store, arena);
+        let out = self.forward_batch(&mut sess, &batch);
+        let all = self.extract_predictions(sess.tape.value(out));
+        let preds = (0..batch.n_samples())
+            .map(|s| {
+                let (lo, hi) = batch.sample_path_range(s);
+                debug_assert!(hi <= all.len(), "sample ranges partition the output rows");
+                // lint: allow(panic, reason = "sample_path_range partitions 0..n_paths and extract_predictions yields one row per path")
+                all[lo..hi].to_vec()
+            })
+            .collect();
+        (preds, sess.into_tape())
+    }
+
     /// Denormalize a `rows x out_dim` prediction tensor into KPI structs.
     fn extract_predictions(&self, v: &Tensor) -> Vec<Prediction> {
         (0..v.rows())

@@ -140,6 +140,27 @@ impl Tape {
         }
     }
 
+    /// Bound the arena pool to at most `max_buffers` recycled buffers,
+    /// dropping the *largest* ones first. A training loop replays one op
+    /// sequence and wants the whole pool; a long-lived server replays
+    /// variable-size batches, so after one large burst the pool would pin
+    /// the high-water memory forever. Dropping the largest buffers releases
+    /// the burst memory while keeping warm buffers for steady-state batches.
+    pub fn trim_pool(&mut self, max_buffers: usize) {
+        if self.pool.len() <= max_buffers {
+            return;
+        }
+        let mut bufs: Vec<Vec<f64>> = self.pool.drain(..).collect();
+        bufs.sort_by_key(|b| b.capacity());
+        bufs.truncate(max_buffers);
+        self.pool.extend(bufs);
+    }
+
+    /// Number of recycled value buffers currently held by the arena pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Cumulative count of value buffers recycled from the arena pool.
     pub fn reuse_hits(&self) -> u64 {
         self.reuse_hits
@@ -1412,5 +1433,28 @@ mod tests {
         assert!(t.poisoned());
         t.reset();
         assert!(!t.poisoned());
+    }
+
+    /// Server contract: `trim_pool` bounds the arena after a large burst,
+    /// dropping the largest buffers first, and stays usable afterwards.
+    #[test]
+    fn trim_pool_bounds_arena_and_drops_largest() {
+        let mut tape = Tape::new();
+        // One big buffer and several small ones.
+        tape.leaf(Tensor::zeros(100, 100));
+        for _ in 0..4 {
+            tape.leaf(Tensor::zeros(2, 2));
+        }
+        tape.reset();
+        assert_eq!(tape.pool_len(), 5);
+        tape.trim_pool(3);
+        assert_eq!(tape.pool_len(), 3);
+        // The 10_000-scalar burst buffer is gone; survivors are small.
+        assert!(tape.pool.iter().all(|b| b.capacity() < 10_000));
+        let small = tape.alloc_tensor(2, 2);
+        assert_eq!(small.data().len(), 4);
+        // Trimming to a larger bound is a no-op.
+        tape.trim_pool(100);
+        assert_eq!(tape.pool_len(), 2);
     }
 }

@@ -154,6 +154,40 @@ pub enum Event {
         /// Pearson correlation between predictions and truth.
         pearson_r: f64,
     },
+    /// End-of-run digest of one serving-daemon session (`routenet-serve`).
+    Serve {
+        /// Queries accepted into the batching queue.
+        queries: u64,
+        /// Responses written back to clients (success or typed error).
+        responses: u64,
+        /// Queries shed because the bounded queue was full.
+        shed: u64,
+        /// Micro-batches executed through the batched forward pass.
+        batches: u64,
+        /// Sustained queries per wall-clock second over the session.
+        qps: f64,
+        /// Median enqueue-to-response latency, seconds.
+        p50_latency_s: f64,
+        /// 95th-percentile enqueue-to-response latency, seconds.
+        p95_latency_s: f64,
+        /// Mean micro-batch size (queries per batch).
+        mean_batch: f64,
+        /// Largest micro-batch executed.
+        max_batch: u64,
+        /// Wall-clock duration of the serving session, seconds.
+        wall_s: f64,
+    },
+    /// The bounded serve queue entered an overload episode and began
+    /// shedding queries (emitted once per episode, not per shed query —
+    /// the file sink rewrites the full log per event, so per-query
+    /// emission under overload would be quadratic exactly when the daemon
+    /// is busiest).
+    QueryShed {
+        /// Queue occupancy when shedding began (the configured capacity).
+        queue_len: usize,
+        /// Queries shed so far this session, including this one.
+        shed_total: u64,
+    },
     /// The run ended (always the last event in a complete log).
     RunEnd {
         /// Total wall-clock duration of the run, seconds.
@@ -173,6 +207,8 @@ impl Event {
             Event::DatasetGen { .. } => "DatasetGen",
             Event::DatasetLoad { .. } => "DatasetLoad",
             Event::Eval { .. } => "Eval",
+            Event::Serve { .. } => "Serve",
+            Event::QueryShed { .. } => "QueryShed",
             Event::RunEnd { .. } => "RunEnd",
         }
     }
@@ -233,21 +269,27 @@ impl Histogram {
         }
     }
 
-    /// Record a positive observation (non-positive values clamp to `lo`).
+    /// Record a non-negative observation. Only the *bin index* clamps to
+    /// `[lo, hi]`; `sum` and `max` accumulate the observation itself, so
+    /// [`Histogram::mean`] and [`Histogram::max`] stay exact even when
+    /// observations fall below the bucket floor (clamping them first biased
+    /// the reported mean upward). Negative values clamp to zero — durations
+    /// cannot be negative, but a caller bug must not corrupt the sum.
     pub fn record(&mut self, x: f64) {
         if !x.is_finite() {
             return;
         }
-        let x = x.max(self.lo);
+        let raw = x.max(0.0);
+        let clamped = raw.max(self.lo);
         let b = self.counts.len() as f64;
-        let t = (x / self.lo).ln() / (self.hi / self.lo).ln();
+        let t = (clamped / self.lo).ln() / (self.hi / self.lo).ln();
         let i = ((t * b).floor().max(0.0) as usize).min(self.counts.len() - 1);
         if let Some(c) = self.counts.get_mut(i) {
             *c += 1;
         }
         self.total += 1;
-        self.sum += x;
-        self.max = self.max.max(x);
+        self.sum += raw;
+        self.max = self.max.max(raw);
     }
 
     /// Number of observations.
@@ -267,6 +309,14 @@ impl Histogram {
 
     /// `q`-quantile (`0 < q <= 1`), interpolated in log space, or `None`
     /// when empty.
+    ///
+    /// The top bin doubles as an overflow bucket: observations above `hi`
+    /// land there, and a quantile resolving in it interpolates toward the
+    /// observed maximum instead of the nominal `hi` edge — previously the
+    /// answer was capped at `hi` while `max()` reported the true maximum,
+    /// so p95 could sit below values the histogram demonstrably saw. In
+    /// every bin the result is clamped to the observed maximum, so
+    /// `quantile(q) <= max()` holds for all `q`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!(q > 0.0 && q <= 1.0);
         if self.total == 0 {
@@ -282,12 +332,20 @@ impl Histogram {
                 } else {
                     (target - cum) as f64 / c as f64
                 };
-                let t = (i as f64 + frac) / b;
-                return Some(self.lo * (self.hi / self.lo).powf(t));
+                let v = if i + 1 == self.counts.len() && self.max > self.hi {
+                    // Overflow fold: interpolate between the top bin's
+                    // lower edge and the observed max.
+                    let edge = self.lo * (self.hi / self.lo).powf(i as f64 / b);
+                    edge * (self.max / edge).powf(frac)
+                } else {
+                    let t = (i as f64 + frac) / b;
+                    self.lo * (self.hi / self.lo).powf(t)
+                };
+                return Some(v.min(self.max));
             }
             cum += c;
         }
-        Some(self.hi)
+        Some(self.max)
     }
 }
 
@@ -687,6 +745,7 @@ fn flush_jsonl(fs: &FsHandle, path: &Path, records: &[Record]) -> std::io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn disabled_handle_is_inert() {
@@ -747,6 +806,68 @@ mod tests {
         assert!((0.7..1.3).contains(&p95), "p95 {p95}");
         assert!((h.mean().unwrap() - 0.5005).abs() < 1e-9);
         assert_eq!(h.max(), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_mean_and_max_use_raw_sub_lo_values() {
+        let mut h = Histogram::new(1e-3, 1.0, 16);
+        h.record(1e-6);
+        h.record(1e-6);
+        h.record(2e-3);
+        // Regression: clamping to `lo` before summing reported a mean of
+        // (1e-3 + 1e-3 + 2e-3)/3 here — biased upward by the bucket floor.
+        let want = (1e-6 + 1e-6 + 2e-3) / 3.0;
+        assert!(
+            (h.mean().unwrap() - want).abs() < 1e-15,
+            "mean {} want {want}",
+            h.mean().unwrap()
+        );
+        assert_eq!(h.max(), Some(2e-3));
+        // Negative observations clamp to zero instead of corrupting the sum.
+        h.record(-5.0);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean().unwrap() - want * 3.0 / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_quantile_folds_overflow_toward_observed_max() {
+        let mut h = Histogram::new(1e-3, 1.0, 16);
+        for _ in 0..100 {
+            h.record(5.0); // every observation above `hi`
+        }
+        let p95 = h.quantile(0.95).unwrap();
+        // Regression: the old edge interpolation capped this at hi = 1.0,
+        // below a value the histogram saw 100 times.
+        assert!(p95 > 1.0, "p95 {p95} stuck at hi");
+        assert!(p95 <= 5.0, "p95 {p95} above observed max");
+        // A single sub-`lo` observation: the quantile is the observation.
+        let mut l = Histogram::new(1e-3, 1.0, 16);
+        l.record(1e-7);
+        assert_eq!(l.quantile(0.95), Some(1e-7));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn histogram_quantile_never_exceeds_max(
+            n in 1usize..64,
+            seed in 0u64..1_000_000,
+            q in 0.01f64..=1.0,
+        ) {
+            let mut h = Histogram::new(1e-3, 1.0, 16);
+            // Log-uniform samples spanning well below `lo` and above `hi`,
+            // from an inline LCG (the vendored proptest has no vector
+            // strategies).
+            let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            for _ in 0..n {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                h.record(10f64.powf(-7.0 + 10.0 * u)); // 1e-7 .. 1e3
+            }
+            let max = h.max().unwrap();
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v <= max, "quantile({q}) = {v} > max = {max}");
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Fault-tolerance of the serving daemon: injected filesystem faults at
+//! load time surface as typed [`ServeError`]s (never panics), and hostile
+//! TCP peers — garbage bytes, invalid UTF-8, mid-line disconnects — only
+//! ever cost their own connection while the daemon keeps serving.
+
+use routenet_core::features::Normalizer;
+use routenet_core::{RouteNet, RouteNetConfig, Scenario};
+use routenet_faults::{FaultKind, FaultPlan, FaultRule, FsHandle, OpKind};
+use routenet_netgraph::routing::shortest_path_routing;
+use routenet_netgraph::topology::nsfnet;
+use routenet_netgraph::TrafficMatrix;
+use routenet_obs::Telemetry;
+use routenet_serve::server::serve_tcp;
+use routenet_serve::{Engine, Request, Response, ServeError, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn model() -> RouteNet {
+    let mut m = RouteNet::new(RouteNetConfig {
+        link_state_dim: 4,
+        path_state_dim: 4,
+        readout_hidden: 8,
+        t_iterations: 2,
+        predict_jitter: false,
+        predict_drops: false,
+        seed: 5,
+    });
+    m.set_normalizer(Normalizer {
+        capacity_scale: 10_000.0,
+        traffic_scale: 200.0,
+        ..Normalizer::default()
+    });
+    m
+}
+
+fn scenario() -> Scenario {
+    let g = nsfnet();
+    let routing = shortest_path_routing(&g).unwrap();
+    let mut traffic = TrafficMatrix::zeros(g.n_nodes());
+    for (s, d) in g.node_pairs() {
+        traffic.set_demand(s, d, 80.0 + (s.0 * 14 + d.0) as f64);
+    }
+    Scenario {
+        graph: g,
+        routing,
+        traffic,
+    }
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "routenet-serve-faults-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn load_faults_are_typed_never_panics() {
+    let dir = tmpdir("load");
+
+    // EIO on every read through the seam -> ServeError::Io.
+    let good = dir.join("model.json");
+    std::fs::write(&good, model().to_json()).unwrap();
+    let plan = FaultPlan::new().rule(FaultRule::every(1, FaultKind::Eio).on_op(OpKind::Read));
+    let (fs, _plan) = FsHandle::faulty(plan);
+    let err = Engine::load(&fs, &good, 2)
+        .err()
+        .expect("injected EIO must fail");
+    assert!(matches!(err, ServeError::Io(_)), "{err}");
+
+    // A file that *claims* to be a checkpoint but is truncated garbage ->
+    // ServeError::Checkpoint, not a panic.
+    let bogus_ckpt = dir.join("bogus.ckpt");
+    std::fs::write(
+        &bogus_ckpt,
+        "ROUTENET-CKPT garbage that is not a checkpoint\n",
+    )
+    .unwrap();
+    let fs = FsHandle::default();
+    let err = Engine::load(&fs, &bogus_ckpt, 2)
+        .err()
+        .expect("bogus checkpoint must fail");
+    assert!(matches!(err, ServeError::Checkpoint(_)), "{err}");
+
+    // Non-checkpoint, non-model JSON -> ServeError::Model.
+    let bogus_json = dir.join("bogus.json");
+    std::fs::write(&bogus_json, "{\"not\": \"a model\"}").unwrap();
+    let err = Engine::load(&fs, &bogus_json, 2)
+        .err()
+        .expect("bogus JSON must fail");
+    assert!(matches!(err, ServeError::Model(_)), "{err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hostile_peers_only_cost_their_own_connection() {
+    let server = Server::start(
+        Engine::from_model(model(), 4),
+        ServerConfig::default(),
+        Telemetry::in_memory("serve-test", "faults"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    std::thread::scope(|scope| {
+        let server_ref = &server;
+        scope.spawn(move || serve_tcp(listener, server_ref).unwrap());
+
+        // Peer 1: invalid UTF-8 garbage, then hangs up. The read loop
+        // breaks on the decode error; the daemon must survive.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0xff, 0xfe, 0x00, 0x80, b'\n']).unwrap();
+            drop(s);
+        }
+
+        // Peer 2: a valid query with NO trailing newline, then a mid-line
+        // disconnect. The partial line is either answered (BufRead yields
+        // the final fragment at EOF) or dropped — never a daemon crash.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let req = serde_json::to_string(&Request {
+                id: 1,
+                scenario: Some(scenario()),
+                cmd: None,
+            })
+            .unwrap();
+            s.write_all(&req.as_bytes()[..req.len() / 2]).unwrap();
+            drop(s);
+        }
+
+        // Peer 3: sends a query then disconnects WITHOUT reading the
+        // response; the batcher's send into the dead connection is
+        // discarded, not propagated.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let req = serde_json::to_string(&Request {
+                id: 2,
+                scenario: Some(scenario()),
+                cmd: None,
+            })
+            .unwrap();
+            s.write_all(req.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+            drop(s);
+        }
+
+        // A well-behaved peer is still served after all of the above.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut out = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let req = serde_json::to_string(&Request {
+            id: 42,
+            scenario: Some(scenario()),
+            cmd: None,
+        })
+        .unwrap();
+        out.write_all(req.as_bytes()).unwrap();
+        out.write_all(b"\n").unwrap();
+        out.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(resp.id, 42);
+        let preds = resp.predictions.expect("healthy peer gets its prediction");
+        assert_eq!(preds.len(), scenario().n_pairs());
+
+        server.stop();
+    });
+    server.finish().unwrap();
+}

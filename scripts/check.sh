@@ -136,4 +136,36 @@ for THREADS in 1 2 4; do
     cmp "$TELDIR/model-batched-t$THREADS.json" "$TELDIR/model-sequential.json"
 done
 
+# Serving smoke test: start the micro-batching daemon on an ephemeral
+# loopback port with the model trained above, fire the training scenarios at
+# it from concurrent pipelined connections, and require the served responses
+# to be BYTE-identical to the offline predict path serialized through the
+# same wire encoder (see DESIGN.md "Serving" — micro-batch composition must
+# never perturb answers). The daemon's telemetry must carry the Serve digest.
+step "serve smoke test (daemon vs offline byte-equivalence)"
+cargo run -q --release -p routenet-serve --bin routenet-serve -- \
+    --model "$TELDIR/model.json" --listen 127.0.0.1:0 \
+    --port-file "$TELDIR/serve.port" --max-batch 16 --batch-window-us 2000 \
+    --telemetry "$TELDIR/serve.telemetry.jsonl" 2>"$TELDIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -f "$TELDIR/serve.port" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TELDIR/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -f "$TELDIR/serve.port" ]] || { echo "daemon never bound" >&2; cat "$TELDIR/serve.log" >&2; exit 1; }
+SERVE_PORT="$(cat "$TELDIR/serve.port")"
+cargo run -q --release -p routenet-bench --bin serve-loadgen -- \
+    --connect "127.0.0.1:$SERVE_PORT" --data "$TELDIR/train.jsonl" \
+    --repeat 6 --concurrency 4 --window 4 \
+    --out "$TELDIR/served.jsonl" --shutdown
+wait "$SERVE_PID" || { echo "daemon exited nonzero" >&2; cat "$TELDIR/serve.log" >&2; exit 1; }
+cargo run -q --release -p routenet-bench --bin serve-loadgen -- \
+    --offline --model "$TELDIR/model.json" --data "$TELDIR/train.jsonl" \
+    --repeat 6 --out "$TELDIR/offline.jsonl"
+cmp "$TELDIR/served.jsonl" "$TELDIR/offline.jsonl"
+cargo run -q --release -p routenet-obs --bin validate-telemetry -- \
+    "$TELDIR/serve.telemetry.jsonl" \
+    --require RunStart,Serve,RunEnd
+
 step "all checks passed"
